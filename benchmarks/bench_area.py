@@ -1,0 +1,57 @@
+"""E9 — Fig. 3 / Section IV-A: silicon area of the SM unit.
+
+Paper artifact: the fabricated scalar-multiplication unit occupies
+1.76 mm x 3.56 mm in 65 nm SOTB, about 1400 kGE in 2-input NAND
+equivalents.
+
+This bench regenerates a bottom-up structural gate-equivalent estimate
+from the actual scheduled design (register count and control-store
+geometry from the flow) and reports the block decomposition.
+"""
+
+from repro.asic import PAPER_AREA_KGE, estimate_area
+
+
+def test_area_estimate(benchmark, full_flow):
+    report = benchmark.pedantic(
+        estimate_area,
+        kwargs=dict(
+            registers=full_flow.microprogram.register_count,
+            rom_bits=full_flow.fsm.rom_kilobits * 1000,
+            states=full_flow.fsm.states,
+        ),
+        rounds=5,
+        iterations=1,
+    )
+    print("\nE9 / Fig. 3: gate-equivalent area decomposition")
+    print(report.render())
+    ratio = report.total_kge / PAPER_AREA_KGE
+    print(f"\n  {'':24} {'paper':>9} {'measured':>10}")
+    print(f"  {'SM unit total':24} {'1400 kGE':>9} {report.total_kge:>6.0f} kGE")
+    print(f"  ratio to fabricated: {ratio:.2f}")
+
+    benchmark.extra_info["total_kge"] = round(report.total_kge)
+    benchmark.extra_info["paper_kge"] = PAPER_AREA_KGE
+
+    # Same order of magnitude with multiplier-led decomposition.
+    assert 0.55 <= ratio <= 1.45
+    assert report.share("fp2_multiplier") > 0.3
+
+
+def test_area_drivers(benchmark, full_flow):
+    """Datapath (multiplier + RF) dominates; control stays small."""
+    report = benchmark.pedantic(
+        estimate_area,
+        kwargs=dict(registers=full_flow.microprogram.register_count),
+        rounds=5,
+        iterations=1,
+    )
+    datapath = (
+        report.blocks["fp2_multiplier"]
+        + report.blocks["register_file"]
+        + report.blocks["fp2_addsub"]
+    )
+    print(f"\n  datapath share: {datapath / report.total:.0%}, "
+          f"control share: {report.share('control'):.0%}")
+    assert datapath / report.total > 0.5
+    assert report.share("control") < 0.15

@@ -1,0 +1,74 @@
+"""E8 — the 4-dimensional decomposition (paper Section II-B-3 / Alg. 1).
+
+Paper claims:
+
+* a 256-bit scalar decomposes into four 64-bit scalars, so "the number
+  of iterations in the double-and-add algorithm can be reduced to 1/4";
+* FourQ is ~5x faster than NIST P-256 and ~2x faster than Curve25519
+  (Section I, citing [7]).
+
+This bench measures the decomposition widths, the iteration counts,
+and the cross-curve field-operation budgets that produce those factors.
+"""
+
+import random
+
+from repro.analysis import (
+    curve25519_budget,
+    fourq_budget,
+    p256_budget,
+    render_budgets,
+)
+from repro.curve import default_decomposer, recode_glv_sac
+
+
+def test_decomposition_widths(benchmark):
+    dec = default_decomposer()
+    rng = random.Random(11)
+    scalars = [rng.randrange(2**256) for _ in range(64)]
+
+    def run():
+        return [dec.decompose(k) for k in scalars]
+
+    results = benchmark(run)
+    worst = max(d.max_bits for d in results)
+    print("\nE8: 4-D decomposition widths over 64 random 256-bit scalars")
+    print(f"  {'':28} {'paper':>8} {'measured':>9}")
+    print(f"  {'max sub-scalar width':28} {'64 bit':>8} {worst:>6} bit")
+    assert worst <= 64
+
+
+def test_iteration_reduction(benchmark):
+    dec = default_decomposer()
+    rng = random.Random(12)
+
+    def run():
+        k = rng.randrange(2**256)
+        d = dec.decompose(k)
+        return recode_glv_sac(d.scalars)
+
+    rec = benchmark(run)
+    print(f"\n  main-loop iterations: {rec.iterations} "
+          f"(paper Algorithm 1: 64; plain double-and-add: 256)")
+    print(f"  reduction factor: {256 / rec.iterations:.1f}x (paper: 4x)")
+    assert rec.iterations == 64
+
+
+def test_cross_curve_budgets(benchmark):
+    budgets = benchmark.pedantic(
+        lambda: [fourq_budget(), p256_budget(), curve25519_budget()],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nE8: field-operation budgets per scalar multiplication")
+    print(render_budgets(budgets))
+    fourq, p256, c25519 = budgets
+    r_p256 = p256.mult_ops_normalized / fourq.mult_ops_normalized
+    r_25519 = c25519.mult_ops_normalized / fourq.mult_ops_normalized
+    print(f"\n  normalized mult ratio P-256/FourQ:      {r_p256:.2f}x "
+          f"(paper: ~5x vs optimized P-256 software; double-and-add here)")
+    print(f"  normalized mult ratio Curve25519/FourQ: {r_25519:.2f}x "
+          f"(paper: ~2x)")
+    # Shape: FourQ wins clearly against both, Curve25519 sits between.
+    assert r_p256 > 2.5
+    assert 1.3 <= r_25519 <= 2.5

@@ -1,0 +1,57 @@
+"""End-to-end design-flow benchmark: trace -> schedule -> microcode -> RTL.
+
+Not tied to a single paper artifact; this measures the reproduction's
+own contribution — the complete automated flow of Section III-C
+executing and verifying a full scalar multiplication — and reports the
+artifact sizes the other benches consume.
+"""
+
+from repro.flow import run_flow
+from repro.trace import trace_scalar_mult
+
+
+def test_full_design_flow(benchmark):
+    def flow_once():
+        prog = trace_scalar_mult(k=0xA5A5_5A5A << 208)
+        return run_flow(prog)
+
+    flow = benchmark.pedantic(flow_once, rounds=1, iterations=1)
+
+    out = flow.simulation.outputs
+    exp = flow.trace_program.expected
+    verified = out["result_x"] == exp.x and out["result_y"] == exp.y
+
+    print("\nDesign-flow artifacts (full scalar multiplication):")
+    print("  " + flow.report().replace("\n", "\n  "))
+    print(f"  RTL output == [k]P: {'PASS' if verified else 'FAIL'}")
+
+    benchmark.extra_info["cycles"] = flow.cycles
+    benchmark.extra_info["registers"] = flow.microprogram.register_count
+    benchmark.extra_info["verified"] = verified
+
+    assert verified
+    assert 1500 <= flow.cycles <= 2600
+
+
+def test_trace_recording_speed(benchmark):
+    """How fast the paper's step-2 (trace recording) itself runs."""
+    prog = benchmark.pedantic(
+        trace_scalar_mult, kwargs=dict(k=0x777 << 240), rounds=3, iterations=1
+    )
+    print(f"\n  recorded {prog.size} trace entries "
+          f"({prog.arithmetic_size} arithmetic)")
+    assert prog.arithmetic_size > 2000
+
+
+def test_rtl_simulation_speed(benchmark, full_flow):
+    """Cycle-accurate re-simulation of the assembled microprogram."""
+    from repro.rtl import DatapathSimulator
+
+    sim = DatapathSimulator()
+    result = benchmark.pedantic(
+        sim.run, args=(full_flow.microprogram,), rounds=3, iterations=1
+    )
+    print(f"\n  simulated {result.cycles} cycles, "
+          f"max RF traffic {result.max_reads_per_cycle}R/"
+          f"{result.max_writes_per_cycle}W per cycle")
+    assert result.cycles == full_flow.cycles

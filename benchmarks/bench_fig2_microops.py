@@ -1,0 +1,47 @@
+"""E1 — Fig. 2(b): the double-and-add loop micro-op sequence.
+
+Paper claim: one main-loop iteration of FourQ's scalar multiplication
+"composed of 15 F_{p^2} multiplications and 13 F_{p^2}
+addition/subtractions".
+
+This bench regenerates the microinstruction sequence by tracing the
+Python implementation and asserts the counts exactly.
+"""
+
+from repro.trace import trace_loop_iteration
+
+
+def test_fig2_loop_iteration_microops(benchmark):
+    prog = benchmark.pedantic(
+        trace_loop_iteration, rounds=3, iterations=1, warmup_rounds=1
+    )
+    muls = prog.tracer.multiplier_ops()
+    addsubs = prog.tracer.addsub_ops()
+
+    print("\nE1 / Fig. 2(b): double-and-add loop iteration micro-ops")
+    print(f"  {'':24} {'paper':>8} {'measured':>9}")
+    print(f"  {'Fp2 multiplications':24} {15:>8} {muls:>9}")
+    print(f"  {'Fp2 add/subtractions':24} {13:>8} {addsubs:>9}")
+
+    benchmark.extra_info["mults_paper"] = 15
+    benchmark.extra_info["mults_measured"] = muls
+    benchmark.extra_info["addsubs_paper"] = 13
+    benchmark.extra_info["addsubs_measured"] = addsubs
+
+    assert muls == 15
+    assert addsubs == 13
+
+
+def test_fig2_breakdown(benchmark):
+    """The iteration decomposes as doubling 7M+6A, negate 1A, add 8M+6A."""
+    prog = benchmark.pedantic(trace_loop_iteration, rounds=3, iterations=1)
+    counts = dict(prog.section_counts())
+
+    print("\nE1 breakdown (mult, addsub):")
+    for section, expected in (
+        ("double", (7, 6)),
+        ("select", (0, 1)),
+        ("add", (8, 6)),
+    ):
+        print(f"  {section:8}: measured {counts[section]}, expected {expected}")
+        assert counts[section] == expected

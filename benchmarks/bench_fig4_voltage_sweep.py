@@ -1,0 +1,59 @@
+"""E4 — Fig. 4: fmax / latency / energy versus supply voltage.
+
+Paper artifact: the Shmoo-style measurement of the fabricated chip,
+0.32-1.2 V, with the headline points 10.1 us @ 1.2 V (3.98 uJ) and the
+minimum-energy 0.327 uJ @ 0.32 V.
+
+This bench regenerates the full sweep from the calibrated device model
+driven by the *scheduled* cycle count, checks the anchors, and checks
+the curve shapes (monotone fmax, convex energy with an interior
+minimum near 0.32 V).
+"""
+
+import pytest
+
+
+def test_fig4_voltage_sweep(benchmark, tech, full_flow):
+    rows = benchmark.pedantic(
+        tech.voltage_sweep, kwargs=dict(lo=0.32, hi=1.20, steps=22),
+        rounds=5, iterations=1,
+    )
+
+    print(f"\nE4 / Fig. 4: voltage sweep ({full_flow.cycles} cycles/SM)")
+    print(f"  {'VDD[V]':>7} {'fmax[MHz]':>10} {'latency[us]':>12} {'E/SM[uJ]':>9}")
+    for v, f, lat, e in rows:
+        print(f"  {v:7.2f} {f / 1e6:10.2f} {lat * 1e6:12.1f} {e * 1e6:9.3f}")
+
+    # Shape checks: fmax monotone increasing, latency decreasing.
+    fs = [r[1] for r in rows]
+    lats = [r[2] for r in rows]
+    assert all(b > a for a, b in zip(fs, fs[1:]))
+    assert all(b < a for a, b in zip(lats, lats[1:]))
+
+
+def test_fig4_anchor_1v2(tech, benchmark):
+    lat = benchmark.pedantic(tech.latency, args=(1.20,), rounds=5, iterations=1)
+    e = tech.energy(1.20)
+    print(f"\n  1.20 V: paper 10.1 us / 3.98 uJ -> model "
+          f"{lat * 1e6:.2f} us / {e * 1e6:.3f} uJ")
+    assert lat == pytest.approx(10.1e-6, rel=1e-6)
+    assert e == pytest.approx(3.98e-6, rel=1e-6)
+
+
+def test_fig4_minimum_energy_point(tech, benchmark):
+    v, e = benchmark.pedantic(tech.minimum_energy_point, rounds=3, iterations=1)
+    print(f"\n  minimum energy: paper 0.32 V / 0.327 uJ -> model "
+          f"{v:.3f} V / {e * 1e6:.3f} uJ")
+    benchmark.extra_info["v_min"] = round(v, 4)
+    benchmark.extra_info["e_min_uj"] = round(e * 1e6, 4)
+    assert 0.30 <= v <= 0.36
+    assert e == pytest.approx(0.327e-6, rel=0.05)
+
+
+def test_fig4_low_voltage_anchor(tech, benchmark):
+    lat = benchmark.pedantic(tech.latency, args=(0.32,), rounds=5, iterations=1)
+    e = tech.energy(0.32)
+    print(f"\n  0.32 V: paper 0.857 ms / 0.327 uJ -> model "
+          f"{lat * 1e3:.3f} ms / {e * 1e6:.3f} uJ")
+    assert lat == pytest.approx(0.857e-3, rel=1e-6)
+    assert e == pytest.approx(0.327e-6, rel=1e-6)

@@ -1,0 +1,64 @@
+"""Extension bench: fixed-base comb multiplication (key generation path).
+
+The FPGA FourQ implementation ([10]) and the FourQ software library
+accelerate the fixed-base case (key generation, signing) with
+precomputed comb tables.  This bench measures the reproduction's comb
+path against the variable-base Algorithm 1 and reports the
+table-size/latency trade-off.
+"""
+
+import random
+
+from repro.curve import AffinePoint, SUBGROUP_ORDER_N, scalar_mul_fourq
+from repro.curve.fixedbase import FixedBaseTable
+
+
+def test_fixedbase_correct_and_fast(benchmark):
+    g = AffinePoint.generator()
+    table = FixedBaseTable(g)
+    rng = random.Random(21)
+    ks = [rng.randrange(2**256) for _ in range(4)]
+
+    def run():
+        return [table.multiply(k) for k in ks]
+
+    results = benchmark(run)
+    for k, got in zip(ks, results):
+        assert got == (k % SUBGROUP_ORDER_N) * g
+
+    print("\nfixed-base comb (w=4, v=2): "
+          f"{table.size_points} precomputed points, {table.rows} rows")
+
+
+def test_variable_base_reference(benchmark):
+    g = AffinePoint.generator()
+    rng = random.Random(21)
+    ks = [rng.randrange(2**256) for _ in range(4)]
+
+    def run():
+        return [scalar_mul_fourq(k, g) for k in ks]
+
+    benchmark(run)
+    print("\nvariable-base Algorithm 1 (for comparison with the comb)")
+
+
+def test_table_size_tradeoff(benchmark):
+    """Wider combs: more table, fewer rows (doublings)."""
+    g = AffinePoint.generator()
+
+    def build_all():
+        return [
+            (w, v, FixedBaseTable(g, width=w, columns=v))
+            for (w, v) in ((2, 1), (4, 2), (5, 2))
+        ]
+
+    tables = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    k = 0x715AF0 << 200
+    print("\n  width x columns -> points stored, rows (doublings)")
+    for w, v, t in tables:
+        assert t.multiply(k) == (k % SUBGROUP_ORDER_N) * g
+        print(f"  w={w} v={v}: {t.size_points:4d} points, {t.rows:3d} rows")
+    sizes = [t.size_points for _, _, t in tables]
+    rows = [t.rows for _, _, t in tables]
+    assert sizes[0] < sizes[-1]
+    assert rows[0] > rows[-1]

@@ -1,0 +1,37 @@
+"""E3 — the 57% profiling claim (paper Section III-B).
+
+Paper claim: "our in-house profiling of FourQ's SM revealed that
+F_{p^2} multiplications account for 57% of the total arithmetic
+operations performed during the SM" — the justification for the
+single-cycle-throughput F_{p^2} multiplier.
+
+This bench profiles an actual recorded full-SM trace.
+"""
+
+from repro.analysis import profile_program, render_profile
+
+
+def test_profiling_multiplication_share(benchmark, full_prog):
+    profile = benchmark.pedantic(
+        profile_program, args=(full_prog,), rounds=5, iterations=1
+    )
+    share = profile["total"].mult_share
+
+    print("\nE3 / Section III-B profiling: Fp2 op mix of one full SM")
+    print(render_profile(profile))
+    print(f"\n  {'':28} {'paper':>8} {'measured':>9}")
+    print(f"  {'multiplication share':28} {'57%':>8} {share:>8.1%}")
+
+    benchmark.extra_info["share_paper"] = 0.57
+    benchmark.extra_info["share_measured"] = round(share, 4)
+
+    assert 0.54 <= share <= 0.61
+
+
+def test_profiling_total_size(benchmark, full_prog):
+    """'Thousands of microinstructions should be issued during SM.'"""
+    total = benchmark.pedantic(
+        lambda: full_prog.arithmetic_size, rounds=5, iterations=1
+    )
+    print(f"\n  total arithmetic micro-ops: {total} (paper: 'thousands')")
+    assert 1000 <= total <= 5000

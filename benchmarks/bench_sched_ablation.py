@@ -1,0 +1,79 @@
+"""E6 — scheduling-methodology ablation (paper Section III-C).
+
+Paper claim: manual scheduling requires splitting the program "into
+multiple small blocks having only tens of microinstructions ... which
+results in the local optima due to the reduced scheduling flexibility";
+whole-program automated scheduling avoids this.
+
+This bench quantifies the claim on the real full-SM workload:
+sequential issue vs hand-style block-limited scheduling (several block
+sizes) vs whole-program list scheduling vs the CP-refined kernel.
+"""
+
+from repro.sched import (
+    block_limited_schedule,
+    cp_schedule,
+    list_schedule,
+    problem_from_trace,
+    sequential_schedule,
+)
+
+
+def test_sched_ablation_full_program(benchmark, full_prog):
+    problem = problem_from_trace(full_prog.tracer.trace)
+
+    whole = benchmark.pedantic(
+        list_schedule, args=(problem,), rounds=3, iterations=1
+    )
+    seq = sequential_schedule(problem)
+    blocks = {
+        size: block_limited_schedule(problem, block_size=size)
+        for size in (8, 16, 32, 64)
+    }
+    for s in [whole, seq, *blocks.values()]:
+        s.validate()
+
+    print("\nE6: scheduling ablation on the full SM "
+          f"({problem.size} micro-ops, lower bound {problem.lower_bound()}):")
+    print(f"  {'method':<26} {'cycles':>8} {'vs whole-program':>17}")
+    rows = [("sequential (no ILP)", seq.makespan)]
+    rows += [
+        (f"hand-style blocks of {k}", v.makespan) for k, v in blocks.items()
+    ]
+    rows.append(("whole-program list", whole.makespan))
+    for name, cycles in rows:
+        print(f"  {name:<26} {cycles:>8} {cycles / whole.makespan:>16.2f}x")
+
+    benchmark.extra_info["sequential"] = seq.makespan
+    benchmark.extra_info["whole_program"] = whole.makespan
+
+    # The paper's local-optima ordering must hold.
+    assert whole.makespan < blocks[8].makespan < seq.makespan
+    assert blocks[64].makespan <= blocks[8].makespan
+
+
+def test_sched_ablation_block_size_trend(benchmark, full_prog):
+    """Larger blocks monotonically approach the whole-program schedule."""
+    problem = problem_from_trace(full_prog.tracer.trace)
+    sizes = (8, 32, 128)
+    spans = benchmark.pedantic(
+        lambda: [
+            block_limited_schedule(problem, block_size=s).makespan for s in sizes
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\n  block size -> cycles: "
+          + ", ".join(f"{s}: {m}" for s, m in zip(sizes, spans)))
+    assert spans[0] >= spans[1] >= spans[2]
+
+
+def test_sched_cp_vs_list_on_kernel(benchmark, loop_prog):
+    """On the kernel, CP proves the list schedule optimal (or beats it)."""
+    problem = problem_from_trace(loop_prog.tracer.trace)
+    res = benchmark.pedantic(cp_schedule, args=(problem,), rounds=3, iterations=1)
+    lst = list_schedule(problem)
+    print(f"\n  kernel: list {lst.makespan} cycles, "
+          f"cp {res.schedule.makespan} cycles (optimal={res.optimal})")
+    assert res.schedule.makespan <= lst.makespan
+    assert res.optimal

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artifacts (full-program trace, scheduled flow, calibrated
+technology model) are computed once per session and shared by all
+benches.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def loop_prog():
+    """The double-and-add kernel trace (Fig. 2(b) workload)."""
+    from repro.trace import trace_loop_iteration
+
+    return trace_loop_iteration()
+
+
+@pytest.fixture(scope="session")
+def full_prog():
+    """A full scalar-multiplication trace."""
+    from repro.trace import trace_scalar_mult
+
+    return trace_scalar_mult(k=0x1234_5678_9ABC_DEF0 << 192)
+
+
+@pytest.fixture(scope="session")
+def full_flow(full_prog):
+    """The complete design flow on the full trace (scheduled + simulated)."""
+    from repro.flow import run_flow
+
+    return run_flow(full_prog)
+
+
+@pytest.fixture(scope="session")
+def tech(full_flow):
+    """The 65 nm SOTB model calibrated to this flow's cycle count."""
+    from repro.asic import calibrate
+
+    return calibrate(cycles=full_flow.cycles)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Design-space exploration: what-if studies on the datapath.
+
+The automated flow makes architecture questions cheap to answer — the
+point of the paper's methodology.  This example re-schedules the full
+scalar multiplication under different datapath assumptions and projects
+each variant's latency at 1.2 V (holding the device model fixed):
+
+* multiplier pipeline depth 1-4,
+* forwarding paths on/off,
+* register-file port budgets,
+
+plus the per-block energy breakdown at the two headline voltages.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import run_flow, trace_scalar_mult
+from repro.asic import calibrate, power_breakdown
+from repro.sched import MachineSpec
+
+
+def sweep() -> None:
+    prog = trace_scalar_mult(k=0xD15EA5E << 200)
+    baseline = None
+
+    variants = [
+        ("baseline (Lm=3, fwd, 4R/2W)", MachineSpec()),
+        ("shallow multiplier (Lm=1)", MachineSpec(mult_latency=1)),
+        ("Lm=2", MachineSpec(mult_latency=2)),
+        ("deep multiplier (Lm=4)", MachineSpec(mult_latency=4)),
+        ("no forwarding", MachineSpec(forwarding=False)),
+        ("2 read ports", MachineSpec(read_ports=2)),
+        ("1 write port", MachineSpec(write_ports=1)),
+        ("6R/3W luxury RF", MachineSpec(read_ports=6, write_ports=3)),
+    ]
+
+    print("Design-space exploration: full SM re-scheduled per variant")
+    print(f"{'variant':<30} {'cycles':>8} {'vs base':>8} {'regs':>6}")
+    print("-" * 58)
+    for name, machine in variants:
+        flow = run_flow(prog, machine=machine)
+        out = flow.simulation.outputs
+        assert out["result_x"] == prog.expected.x, f"{name}: wrong result!"
+        cycles = flow.cycles
+        if baseline is None:
+            baseline = cycles
+        print(f"{name:<30} {cycles:>8} {cycles / baseline:>7.2f}x "
+              f"{flow.microprogram.register_count:>6}")
+
+    print("\nEvery variant is re-verified bit-for-bit on the")
+    print("cycle-accurate datapath before being reported.")
+
+
+def energy_story() -> None:
+    prog = trace_scalar_mult(k=0xFEED << 230)
+    flow = run_flow(prog)
+    tech = calibrate(cycles=flow.cycles)
+    print("\nWhere the energy goes (activity-weighted breakdown):\n")
+    for v in (1.20, 0.32):
+        print(power_breakdown(tech, flow.simulation, v).render())
+        print()
+    print("At the minimum-energy voltage leakage becomes a first-order")
+    print("term — the mechanism behind Fig. 4's energy minimum.")
+
+
+def main() -> None:
+    sweep()
+    energy_story()
+
+
+if __name__ == "__main__":
+    main()

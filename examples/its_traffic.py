@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""ITS traffic scenario: the paper's motivating application.
+
+The introduction argues that intelligent-transportation-system message
+authentication needs ~1000 signature verifications per second today
+(Knezevic et al.) and far more as V2X bandwidth grows toward 100 Mb/s.
+This example:
+
+1. simulates a burst of signed traffic messages (FourQ-Schnorr signing
+   and verification running on this library's Algorithm 1);
+2. computes, from the calibrated chip model and the Table II prior art,
+   how many messages per second each accelerator could authenticate —
+   showing which designs survive the 100 Mb/s scaling the paper
+   projects.
+
+Run:  python examples/its_traffic.py
+"""
+
+import random
+import time
+
+from repro.asic import PRIOR_ART, calibrate, our_entries
+from repro.dsa import fourq_schnorr
+
+
+#: Messages per second for today's 6 Mb/s channel (paper, citing [5]).
+TODAY_MSG_RATE = 1000
+#: Projected V2X bandwidth growth: 6 -> 100 Mb/s (paper Section I).
+PROJECTED_MSG_RATE = TODAY_MSG_RATE * 100 // 6
+
+
+def simulate_message_burst(n_messages: int = 5) -> None:
+    """Sign and verify a burst of V2X-style messages end to end."""
+    rng = random.Random(99)
+    vehicle_key = fourq_schnorr.generate_keypair(rng=rng)
+    print(f"Signing and verifying {n_messages} traffic messages "
+          f"(FourQ-Schnorr on Algorithm 1):")
+    t0 = time.perf_counter()
+    for i in range(n_messages):
+        msg = (
+            f"CAM v1 vehicle=4242 t={i} pos=35.71N,139.76E "
+            f"speed={40 + i}km/h heading=182deg"
+        ).encode()
+        sig = fourq_schnorr.sign(vehicle_key, msg)
+        assert fourq_schnorr.verify(vehicle_key.public, msg, sig), "forged?!"
+    dt = time.perf_counter() - t0
+    print(f"  all verified OK ({dt / n_messages * 1e3:.0f} ms per "
+          f"sign+verify in pure Python)\n")
+
+
+def accelerator_survey() -> None:
+    """Verifications/second per accelerator vs the ITS requirements."""
+    tech = calibrate(cycles=2069)
+    rows = our_entries(tech, area_kge=1024) + list(PRIOR_ART)
+    print(f"{'design':<22} {'curve':<12} {'ops/s':>10}  "
+          f"{'1k msg/s?':>10} {'16.7k msg/s?':>13}")
+    print("-" * 74)
+    # A verification needs ~2 scalar multiplications (or 1 op for rows
+    # that report full verification); treat single-SM rows as 1/2 rate.
+    for e in rows:
+        if e.cores != 1:
+            continue
+        sm_per_verify = 2 if e.curve in ("FourQ", "Curve25519") else 1
+        rate = e.throughput_ops / sm_per_verify
+        ok_today = "yes" if rate >= TODAY_MSG_RATE else "NO"
+        ok_future = "yes" if rate >= PROJECTED_MSG_RATE else "NO"
+        print(f"{e.name:<22} {e.curve:<12} {rate:>10.3g}  "
+              f"{ok_today:>10} {ok_future:>13}")
+    print()
+    print(f"requirements: today {TODAY_MSG_RATE} msg/s "
+          f"(6 Mb/s channel), projected {PROJECTED_MSG_RATE} msg/s "
+          f"(100 Mb/s V2X)")
+    print("Only the FourQ ASIC at nominal voltage clears the projected "
+          "rate with a single core — the paper's throughput argument.")
+
+
+def batch_verification_demo() -> None:
+    """Verify a whole intersection's worth of messages in one batch."""
+    import time
+
+    from repro.curve.multiscalar import batch_verify_schnorr
+
+    rng = random.Random(0x1207)
+    n = 6
+    items = []
+    for i in range(n):
+        kp = fourq_schnorr.generate_keypair(rng=rng)
+        msg = f"CAM vehicle={1000 + i} lane={i % 3} speed={30 + 2 * i}km/h".encode()
+        items.append((kp.public, msg, fourq_schnorr.sign(kp, msg)))
+
+    t0 = time.perf_counter()
+    for pub, msg, sig in items:
+        assert fourq_schnorr.verify(pub, msg, sig)
+    t_indiv = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    assert batch_verify_schnorr(items, rng=rng)
+    t_batch = time.perf_counter() - t0
+
+    print(f"\nBatch verification ({n} messages from different vehicles):")
+    print(f"  individually: {t_indiv * 1e3:7.0f} ms")
+    print(f"  as one batch: {t_batch * 1e3:7.0f} ms")
+    print("  (the batch shares one 64-doubling chain; in software the "
+          "per-point\n   table setup dominates, on the ASIC the saved "
+          f"doublings are {5 * 64} cycles)")
+    forged = list(items)
+    pub, _, sig = forged[2]
+    forged[2] = (pub, b"I am an ambulance, clear the road", sig)
+    assert not batch_verify_schnorr(forged, rng=rng)
+    print("  forged message in the batch: rejected")
+
+
+def main() -> None:
+    print("Intelligent Transportation System message authentication")
+    print("=" * 64)
+    simulate_message_burst()
+    accelerator_survey()
+    batch_verification_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — reproduction of "FourQ on ASIC: Breaking Speed Records for
+Elliptic Curve Scalar Multiplication" (Awano & Ikeda, DATE 2019).
+
+The package implements the paper's entire stack in Python:
+
+* :mod:`repro.field` / :mod:`repro.curve` — exact FourQ arithmetic,
+  runtime-derived endomorphisms, 4-D scalar decomposition, and the
+  paper's Algorithm 1;
+* :mod:`repro.trace` — the Python-execution-trace recording of
+  micro-operations (design-flow steps 1-2);
+* :mod:`repro.sched` — job-shop instruction scheduling with list and
+  constraint-programming solvers (step 3);
+* :mod:`repro.isa` / :mod:`repro.rtl` — control-signal generation and
+  a cycle-accurate, bit-exact datapath simulator (step 4 + verification);
+* :mod:`repro.asic` — calibrated 65 nm SOTB frequency/energy/area
+  models reproducing Fig. 4 and Table II;
+* :mod:`repro.baselines` / :mod:`repro.dsa` / :mod:`repro.hashes` —
+  P-256, Curve25519, SHA-256, ECDSA and FourQ-Schnorr for the
+  application-level comparisons.
+
+Quickstart::
+
+    from repro import AffinePoint, scalar_mul_fourq
+    result = scalar_mul_fourq(k, AffinePoint.generator())
+
+Full design flow::
+
+    from repro import run_flow, trace_scalar_mult
+    flow = run_flow(trace_scalar_mult(k=12345))
+    print(flow.report())
+"""
+
+from .curve import (
+    AffinePoint,
+    FourQDecomposer,
+    SUBGROUP_ORDER_N,
+    default_endomorphisms,
+    recode_glv_sac,
+    scalar_mul_double_and_add,
+    scalar_mul_double_base,
+    scalar_mul_fourq,
+    scalar_mul_wnaf,
+    verify_parameters,
+)
+from .dse import (
+    DesignPoint,
+    evaluate_design_point,
+    render_design_points,
+    render_occupancy,
+    sweep_design_space,
+)
+from .flow import FlowResult, run_flow
+from .trace import trace_loop_iteration, trace_scalar_mult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffinePoint",
+    "DesignPoint",
+    "FlowResult",
+    "FourQDecomposer",
+    "SUBGROUP_ORDER_N",
+    "__version__",
+    "default_endomorphisms",
+    "recode_glv_sac",
+    "run_flow",
+    "scalar_mul_double_and_add",
+    "scalar_mul_double_base",
+    "scalar_mul_fourq",
+    "evaluate_design_point",
+    "render_design_points",
+    "render_occupancy",
+    "scalar_mul_wnaf",
+    "sweep_design_space",
+    "trace_loop_iteration",
+    "trace_scalar_mult",
+    "verify_parameters",
+]

@@ -1,0 +1,106 @@
+"""Command-line entry point: ``python -m repro [command]``.
+
+Commands:
+
+* ``summary`` (default) — run the full design flow once and print the
+  chip "datasheet" (cycles, registers, ROM, area, Fig. 4 headline
+  points, Table II factors);
+* ``verify``  — run the parameter and endomorphism self-verification;
+* ``table1``  — print the CP-optimal loop-kernel schedule;
+* ``keygen``  — generate and print a FourQ keypair (demo only).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def cmd_summary() -> int:
+    from .asic import calibrate, estimate_area, headline_factors
+    from .flow import run_flow
+    from .trace import trace_scalar_mult
+
+    print("Running the full design flow (trace -> schedule -> microcode "
+          "-> cycle-accurate simulation)...")
+    prog = trace_scalar_mult(k=0x5EED << 232)
+    flow = run_flow(prog)
+    ok = (
+        flow.simulation.outputs["result_x"] == prog.expected.x
+        and flow.simulation.outputs["result_y"] == prog.expected.y
+    )
+    print()
+    print(flow.report())
+    print(f"RTL result == [k]P : {'PASS' if ok else 'FAIL'}")
+    tech = calibrate(cycles=flow.cycles)
+    area = estimate_area(registers=flow.microprogram.register_count)
+    v_min, e_min = tech.minimum_energy_point()
+    hf = headline_factors(tech)
+    print()
+    print(f"area estimate      : {area.total_kge:.0f} kGE (paper: 1400)")
+    print(f"latency @ 1.20 V   : {tech.latency(1.2) * 1e6:.2f} us (paper: 10.1)")
+    print(f"energy  @ 1.20 V   : {tech.energy(1.2) * 1e6:.2f} uJ (paper: 3.98)")
+    print(f"min energy point   : {v_min:.3f} V, {e_min * 1e6:.3f} uJ "
+          f"(paper: 0.32 V, 0.327 uJ)")
+    print(f"vs FourQ FPGA [10] : {hf.speedup_vs_fourq_fpga:.1f}x (paper: 15.5x)")
+    print(f"vs P-256 ASIC [5]  : {hf.speedup_vs_p256_asic:.2f}x (paper: 3.66x)")
+    return 0 if ok else 1
+
+
+def cmd_verify() -> int:
+    from .curve import verify_parameters
+    from .curve.derive import derive_endomorphisms
+
+    print("Verifying FourQ parameters (on-curve, order, primality)...")
+    verify_parameters()
+    print("  OK")
+    print("Deriving and verifying endomorphisms (Velu isogenies)...")
+    endo = derive_endomorphisms()
+    print(f"  psi^2 = [8],   lambda_psi = {hex(endo.lambda_psi)}")
+    print(f"  phi^2 = [-20], lambda_phi = {hex(endo.lambda_phi)}")
+    print("  OK")
+    return 0
+
+
+def cmd_table1() -> int:
+    from .sched import cp_schedule, problem_from_trace
+    from .trace import trace_loop_iteration
+
+    prog = trace_loop_iteration()
+    res = cp_schedule(problem_from_trace(prog.tracer.trace))
+    print(res.schedule.summary())
+    print()
+    print(res.schedule.render_table())
+    return 0
+
+
+def cmd_keygen() -> int:
+    from .dsa import fourq_dh
+
+    kp = fourq_dh.generate_keypair()
+    print("FourQ keypair (DO NOT use this demo output for real keys):")
+    print(f"  private: {hex(kp.private)}")
+    print(f"  public : {kp.public_bytes.hex()}")
+    return 0
+
+
+COMMANDS = {
+    "summary": cmd_summary,
+    "verify": cmd_verify,
+    "table1": cmd_table1,
+    "keygen": cmd_keygen,
+}
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    name = argv[0] if argv else "summary"
+    cmd = COMMANDS.get(name)
+    if cmd is None:
+        print(f"unknown command {name!r}; choose from "
+              f"{', '.join(COMMANDS)}", file=sys.stderr)
+        return 2
+    return cmd()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

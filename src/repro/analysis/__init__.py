@@ -1,0 +1,33 @@
+"""Analysis helpers: op-mix profiling, budgets, constant-time checks."""
+
+from .constant_time import (
+    ShapeReport,
+    check_scalar_independence,
+    check_schedule_independence,
+    trace_shape,
+)
+from .profiling import (
+    CurveOpBudget,
+    OpMix,
+    curve25519_budget,
+    fourq_budget,
+    p256_budget,
+    profile_program,
+    render_budgets,
+    render_profile,
+)
+
+__all__ = [
+    "CurveOpBudget",
+    "ShapeReport",
+    "check_scalar_independence",
+    "check_schedule_independence",
+    "trace_shape",
+    "OpMix",
+    "curve25519_budget",
+    "fourq_budget",
+    "p256_budget",
+    "profile_program",
+    "render_budgets",
+    "render_profile",
+]

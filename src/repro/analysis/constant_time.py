@@ -1,0 +1,129 @@
+"""Constant-time (scalar-independence) analysis of traced programs.
+
+Side-channel resistance of the scalar multiplication requires that the
+issued operation sequence — and therefore the chip's power/timing
+profile at the architectural level — does not depend on the secret
+scalar.  The reproduction's traced Algorithm 1 is constant-time by
+construction (always-negate + mux selection, 8-way table muxes); this
+module *checks* it empirically:
+
+* :func:`trace_shape` reduces a trace to its secret-independent
+  skeleton (op kinds in order, section boundaries, unit sequence);
+* :func:`check_scalar_independence` records traces for a batch of
+  scalars and verifies all shapes are identical;
+* :func:`check_schedule_independence` does the same at the schedule
+  level (cycle-by-cycle issue pattern).
+
+These checks catch exactly the class of regression where a data-
+dependent branch sneaks into the point arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..trace.ops import OpKind
+from ..trace.program import TraceProgram
+
+
+@dataclass(frozen=True)
+class ShapeReport:
+    """Result of a scalar-independence check."""
+
+    scalars_tested: int
+    identical: bool
+    first_divergence: Optional[int] = None  # trace index, if any
+
+    def __bool__(self) -> bool:
+        return self.identical
+
+
+def trace_shape(prog: TraceProgram) -> Tuple:
+    """The secret-independent skeleton of a trace.
+
+    Kinds and dependency *structure* are kept; concrete values and the
+    identities of mux-selected sources (``srcs[0]`` of SELECT ops, and
+    the ordering of SELECT alternatives) are erased — those are exactly
+    the data-dependent parts a constant-time implementation is allowed
+    to vary.
+    """
+    shape = []
+    for op in prog.tracer.trace:
+        if op.kind is OpKind.SELECT:
+            # Alternatives as an unordered set: which one is selected
+            # (and its position) is data; the set of candidates is not.
+            shape.append((op.kind.value, frozenset(op.srcs)))
+        else:
+            shape.append((op.kind.value, op.srcs))
+    return tuple(shape)
+
+
+def check_scalar_independence(
+    n_scalars: int = 4, rng: Optional[random.Random] = None
+) -> ShapeReport:
+    """Trace Algorithm 1 for several random scalars; compare shapes."""
+    from ..trace.program import trace_scalar_mult
+
+    rng = rng or random.Random(0xC7)
+    reference: Optional[Tuple] = None
+    for i in range(n_scalars):
+        k = rng.randrange(2**256)
+        shape = trace_shape(trace_scalar_mult(k=k))
+        if reference is None:
+            reference = shape
+            continue
+        if shape != reference:
+            div = next(
+                (j for j, (a, b) in enumerate(zip(reference, shape)) if a != b),
+                min(len(reference), len(shape)),
+            )
+            return ShapeReport(
+                scalars_tested=i + 1, identical=False, first_divergence=div
+            )
+    return ShapeReport(scalars_tested=n_scalars, identical=True)
+
+
+def check_schedule_independence(
+    n_scalars: int = 3, rng: Optional[random.Random] = None
+) -> ShapeReport:
+    """Run the full flow for several scalars; compare issue patterns.
+
+    Stronger than the trace check: the generated *schedules* (which
+    unit issues in which cycle) must coincide, so the FSM program is a
+    single fixed artifact independent of k.
+    """
+    from ..flow import run_flow
+    from ..trace.program import trace_scalar_mult
+
+    rng = rng or random.Random(0x5C)
+    reference: Optional[List] = None
+    for i in range(n_scalars):
+        k = rng.randrange(2**256)
+        flow = run_flow(trace_scalar_mult(k=k))
+        pattern = [
+            (
+                w.cycle,
+                w.mult.kind.value if w.mult else None,
+                w.addsub.kind.value if w.addsub else None,
+                len(w.writebacks),
+            )
+            for w in flow.microprogram.words
+        ]
+        if reference is None:
+            reference = pattern
+            continue
+        if pattern != reference:
+            div = next(
+                (
+                    j
+                    for j, (a, b) in enumerate(zip(reference, pattern))
+                    if a != b
+                ),
+                min(len(reference), len(pattern)),
+            )
+            return ShapeReport(
+                scalars_tested=i + 1, identical=False, first_divergence=div
+            )
+    return ShapeReport(scalars_tested=n_scalars, identical=True)

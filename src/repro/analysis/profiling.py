@@ -1,0 +1,142 @@
+"""Operation-mix profiling: the analysis behind the paper's Section III-B.
+
+"Our in-house profiling of FourQ's SM revealed that F_{p^2}
+multiplications account for 57% of the total arithmetic operations" —
+the fact that justified building a datapath around a full-throughput
+F_{p^2} multiplier.  These helpers compute the same statistics from
+recorded traces, per section and overall, and compare against baseline
+curves' field-op budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..trace.ops import OpKind, Unit
+from ..trace.program import TraceProgram
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Multiplier vs adder op counts with derived shares."""
+
+    mult_ops: int
+    addsub_ops: int
+
+    @property
+    def total(self) -> int:
+        return self.mult_ops + self.addsub_ops
+
+    @property
+    def mult_share(self) -> float:
+        return self.mult_ops / self.total if self.total else 0.0
+
+
+def profile_program(prog: TraceProgram) -> Dict[str, OpMix]:
+    """Per-section op mix plus the overall row (key ``"total"``)."""
+    out: Dict[str, OpMix] = {}
+    for name, (m, a) in prog.section_counts().items():
+        out[name] = OpMix(mult_ops=m, addsub_ops=a)
+    out["total"] = OpMix(
+        mult_ops=prog.tracer.multiplier_ops(),
+        addsub_ops=prog.tracer.addsub_ops(),
+    )
+    return out
+
+
+def render_profile(profile: Dict[str, OpMix]) -> str:
+    """Text table of the op-mix profile."""
+    lines = [f"{'section':<12} {'mult':>7} {'add/sub':>8} {'total':>7} {'mult%':>7}"]
+    order = sorted(profile, key=lambda k: (k == "total", -profile[k].total))
+    for name in order:
+        mix = profile[name]
+        lines.append(
+            f"{name:<12} {mix.mult_ops:>7} {mix.addsub_ops:>8} "
+            f"{mix.total:>7} {mix.mult_share:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CurveOpBudget:
+    """Field-op budget for one scalar multiplication on some curve.
+
+    ``field_bits`` matters because an F_{p^2} multiplication over the
+    127-bit Mersenne prime is much cheaper in hardware than a 256-bit
+    modular multiplication; ``mult_ops`` are in each curve's native
+    field.
+    """
+
+    curve: str
+    field_bits: int
+    mult_ops: int
+    addsub_ops: int
+    iterations: int
+
+    @property
+    def mult_ops_normalized(self) -> float:
+        """Multiplications weighted by (field_bits / 254)^2 — a rough
+        hardware-cost normalization to FourQ's 254-bit F_{p^2} unit
+        (integer multiplier area/delay scales ~quadratically)."""
+        return self.mult_ops * (self.field_bits / 254.0) ** 2
+
+
+def fourq_budget(prog: Optional[TraceProgram] = None) -> CurveOpBudget:
+    """FourQ's budget from an actual trace (or a fresh one)."""
+    from ..trace.program import trace_scalar_mult
+
+    prog = prog or trace_scalar_mult(k=(1 << 255) - 123)
+    return CurveOpBudget(
+        curve="FourQ (4-D decomposition)",
+        field_bits=254,
+        mult_ops=prog.tracer.multiplier_ops(),
+        addsub_ops=prog.tracer.addsub_ops(),
+        iterations=64,
+    )
+
+
+def p256_budget() -> CurveOpBudget:
+    """P-256 double-and-add budget, measured by running it."""
+    from ..baselines.p256 import P256, p256_group
+
+    group = p256_group()
+    k = P256.n - 0xDEADBEEF
+    group.scalar_mul(k, P256.generator)
+    c = group.counter
+    return CurveOpBudget(
+        curve="NIST P-256 (double-and-add)",
+        field_bits=256,
+        mult_ops=c.mult_like,
+        addsub_ops=c.adds,
+        iterations=256,
+    )
+
+
+def curve25519_budget() -> CurveOpBudget:
+    """X25519 ladder budget, measured by running it."""
+    from ..baselines.curve25519 import x25519_ladder
+    from ..baselines.weierstrass import OpCounter
+
+    ctr = OpCounter()
+    x25519_ladder((1 << 254) + 12345, 9, ctr)
+    return CurveOpBudget(
+        curve="Curve25519 (Montgomery ladder)",
+        field_bits=255,
+        mult_ops=ctr.mult_like,
+        addsub_ops=ctr.adds,
+        iterations=255,
+    )
+
+
+def render_budgets(budgets: List[CurveOpBudget]) -> str:
+    lines = [
+        f"{'curve':<32} {'bits':>5} {'iters':>6} {'mult':>7} "
+        f"{'add/sub':>8} {'norm.mult':>10}"
+    ]
+    for b in budgets:
+        lines.append(
+            f"{b.curve:<32} {b.field_bits:>5} {b.iterations:>6} "
+            f"{b.mult_ops:>7} {b.addsub_ops:>8} {b.mult_ops_normalized:>10.0f}"
+        )
+    return "\n".join(lines)

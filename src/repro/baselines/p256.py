@@ -1,0 +1,35 @@
+"""NIST P-256 (secp256r1): the baseline curve of the paper's Table II.
+
+Parameters from FIPS 186-4 / SEC 2.  The accelerators this paper beats
+([5], [19], [20], [21]) all implement scalar multiplication on this
+curve; having it here lets the benchmarks compare field-operation
+budgets and simulated latencies like-for-like.
+"""
+
+from __future__ import annotations
+
+from .weierstrass import WeierstrassCurve, WeierstrassGroup
+
+#: FIPS 186-4 curve P-256.
+P256 = WeierstrassCurve(
+    name="NIST P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3 % 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+)
+
+
+def p256_group() -> WeierstrassGroup:
+    """A fresh P-256 group context with its own op counter."""
+    return WeierstrassGroup(P256)
+
+
+def verify_p256() -> None:
+    """Self-check the embedded parameters (on-curve, order annihilates)."""
+    g = p256_group()
+    assert P256.is_on_curve(P256.generator), "P-256 generator not on curve"
+    assert g.scalar_mul(P256.n, P256.generator) is None, "[n]G != infinity"
+    assert g.scalar_mul(1, P256.generator) == P256.generator

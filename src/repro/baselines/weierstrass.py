@@ -1,0 +1,224 @@
+"""Generic short Weierstrass curve arithmetic over a prime field.
+
+Substrate for the comparison baselines (NIST P-256 — the curve of the
+prior-art accelerators in the paper's Table II).  Implements the affine
+group law, Jacobian-coordinate double/add for realistic operation
+counts, and double-and-add / wNAF scalar multiplication, with an
+operation counter so the benchmarks can compare field-op budgets
+against FourQ's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass
+class OpCounter:
+    """Field-operation counter (M = mul, S = sqr, A = add/sub, I = inv)."""
+
+    muls: int = 0
+    sqrs: int = 0
+    adds: int = 0
+    invs: int = 0
+
+    @property
+    def mult_like(self) -> int:
+        """Multiplier-slot ops (S occupies the same unit as M)."""
+        return self.muls + self.sqrs
+
+    def reset(self) -> None:
+        self.muls = self.sqrs = self.adds = self.invs = 0
+
+
+@dataclass(frozen=True)
+class WeierstrassCurve:
+    """y^2 = x^3 + ax + b over F_p, with subgroup order n and generator."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    n: int
+    gx: int
+    gy: int
+
+    def is_on_curve(self, pt: Optional[Tuple[int, int]]) -> bool:
+        if pt is None:
+            return True
+        x, y = pt
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    @property
+    def generator(self) -> Tuple[int, int]:
+        return (self.gx, self.gy)
+
+
+#: Affine points are (x, y) tuples; None is the point at infinity.
+AffineW = Optional[Tuple[int, int]]
+#: Jacobian points are (X, Y, Z): x = X/Z^2, y = Y/Z^3; Z = 0 is infinity.
+JacobianW = Tuple[int, int, int]
+
+
+class WeierstrassGroup:
+    """Group operations with an attached op counter."""
+
+    def __init__(self, curve: WeierstrassCurve):
+        self.curve = curve
+        self.counter = OpCounter()
+
+    # -- affine reference law ------------------------------------------
+    def affine_add(self, p1: AffineW, p2: AffineW) -> AffineW:
+        """Complete affine addition (reference; uses one inversion)."""
+        c = self.curve
+        if p1 is None:
+            return p2
+        if p2 is None:
+            return p1
+        x1, y1 = p1
+        x2, y2 = p2
+        if x1 == x2 and (y1 + y2) % c.p == 0:
+            return None
+        if p1 == p2:
+            lam = (3 * x1 * x1 + c.a) * pow(2 * y1, c.p - 2, c.p) % c.p
+        else:
+            lam = (y2 - y1) * pow(x2 - x1, c.p - 2, c.p) % c.p
+        x3 = (lam * lam - x1 - x2) % c.p
+        y3 = (lam * (x1 - x3) - y1) % c.p
+        return (x3, y3)
+
+    def affine_neg(self, p1: AffineW) -> AffineW:
+        if p1 is None:
+            return None
+        return (p1[0], (-p1[1]) % self.curve.p)
+
+    # -- Jacobian operations (the op counts accelerators pay) ----------
+    def jac_double(self, pt: JacobianW) -> JacobianW:
+        """dbl-2007-bl: 1M + 8S + 10A (a != -3 general form)."""
+        c = self.curve
+        x1, y1, z1 = pt
+        if z1 == 0 or y1 == 0:
+            return (1, 1, 0)
+        ctr = self.counter
+        xx = x1 * x1 % c.p
+        yy = y1 * y1 % c.p
+        yyyy = yy * yy % c.p
+        zz = z1 * z1 % c.p
+        ctr.sqrs += 4
+        s = 2 * ((x1 + yy) * (x1 + yy) % c.p - xx - yyyy) % c.p
+        ctr.sqrs += 1
+        ctr.adds += 4
+        m = (3 * xx + c.a * zz * zz % c.p) % c.p
+        ctr.sqrs += 1
+        ctr.muls += 1
+        ctr.adds += 1
+        t = (m * m - 2 * s) % c.p
+        ctr.sqrs += 1
+        ctr.adds += 2
+        x3 = t
+        y3 = (m * (s - t) - 8 * yyyy) % c.p
+        ctr.muls += 1
+        ctr.adds += 2
+        z3 = ((y1 + z1) * (y1 + z1) % c.p - yy - zz) % c.p
+        ctr.sqrs += 1
+        ctr.adds += 3
+        return (x3, y3, z3)
+
+    def jac_add_mixed(self, pt: JacobianW, q: Tuple[int, int]) -> JacobianW:
+        """madd-2007-bl mixed addition (Z2 = 1): 7M + 4S + 9A."""
+        c = self.curve
+        x1, y1, z1 = pt
+        x2, y2 = q
+        if z1 == 0:
+            return (x2, y2, 1)
+        ctr = self.counter
+        z1z1 = z1 * z1 % c.p
+        u2 = x2 * z1z1 % c.p
+        s2 = y2 * z1 % c.p * z1z1 % c.p
+        ctr.sqrs += 1
+        ctr.muls += 3
+        h = (u2 - x1) % c.p
+        r = 2 * (s2 - y1) % c.p
+        ctr.adds += 2
+        if h == 0:
+            if r == 0:
+                return self.jac_double(pt)
+            return (1, 1, 0)
+        hh = h * h % c.p
+        i = 4 * hh % c.p
+        j = h * i % c.p
+        v = x1 * i % c.p
+        ctr.sqrs += 1
+        ctr.muls += 2
+        ctr.adds += 1
+        x3 = (r * r - j - 2 * v) % c.p
+        ctr.sqrs += 1
+        ctr.adds += 3
+        y3 = (r * (v - x3) - 2 * y1 * j % c.p) % c.p
+        ctr.muls += 2
+        ctr.adds += 2
+        z3 = ((z1 + h) * (z1 + h) % c.p - z1z1 - hh) % c.p
+        ctr.sqrs += 1
+        ctr.adds += 3
+        return (x3, y3, z3)
+
+    def jac_to_affine(self, pt: JacobianW) -> AffineW:
+        c = self.curve
+        x, y, z = pt
+        if z == 0:
+            return None
+        self.counter.invs += 1
+        zinv = pow(z, c.p - 2, c.p)
+        zinv2 = zinv * zinv % c.p
+        self.counter.sqrs += 1
+        self.counter.muls += 3
+        return (x * zinv2 % c.p, y * zinv2 % c.p * zinv % c.p)
+
+    # -- scalar multiplication ------------------------------------------
+    def scalar_mul(self, k: int, pt: AffineW) -> AffineW:
+        """Left-to-right double-and-add on Jacobian coordinates."""
+        if pt is None or k % self.curve.n == 0:
+            return None
+        k %= self.curve.n
+        acc: JacobianW = (1, 1, 0)
+        for bit in bin(k)[2:]:
+            acc = self.jac_double(acc)
+            if bit == "1":
+                acc = self.jac_add_mixed(acc, pt)
+        return self.jac_to_affine(acc)
+
+    def scalar_mul_wnaf(self, k: int, pt: AffineW, width: int = 4) -> AffineW:
+        """Width-w NAF with precomputed odd multiples (affine table)."""
+        if pt is None or k % self.curve.n == 0:
+            return None
+        k %= self.curve.n
+        # Precompute odd multiples 1P..(2^(w-1)-1)P (affine, via the
+        # reference law: precomputation cost is not the inner loop).
+        table = {1: pt}
+        two_p = self.affine_add(pt, pt)
+        m = pt
+        for d in range(3, 1 << (width - 1), 2):
+            m = self.affine_add(m, two_p)
+            table[d] = m
+        digits = []
+        kk = k
+        while kk > 0:
+            if kk & 1:
+                d = kk % (1 << width)
+                if d >= 1 << (width - 1):
+                    d -= 1 << width
+                kk -= d
+            else:
+                d = 0
+            digits.append(d)
+            kk >>= 1
+        acc: JacobianW = (1, 1, 0)
+        for d in reversed(digits):
+            acc = self.jac_double(acc)
+            if d:
+                q = table[abs(d)]
+                if d < 0:
+                    q = self.affine_neg(q)
+                acc = self.jac_add_mixed(acc, q)
+        return self.jac_to_affine(acc)

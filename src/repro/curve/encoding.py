@@ -1,0 +1,96 @@
+"""Point compression/serialization for FourQ (32-byte encodings).
+
+A FourQ point has a 254-bit y in F_{p^2} = two 127-bit halves; packing
+each half little-endian into 16 bytes leaves the top bit of each half
+free.  Following the convention of the FourQ software library, the
+encoding stores y plus one sign bit selecting between the two x roots
+of the curve equation (Edwards negation flips x, so one bit suffices),
+in the top bit of the second half.  The top bit of the first half must
+be zero (reserved / validity check).
+
+The decoder fully validates: coordinate ranges, curve membership and
+root existence; malformed inputs raise :class:`DecodingError`.
+"""
+
+from __future__ import annotations
+
+from ..field.fp import P127
+from ..field.fp2 import (
+    Fp2Raw,
+    fp2_add,
+    fp2_inv,
+    fp2_mul,
+    fp2_neg,
+    fp2_sqr,
+    fp2_sqrt,
+    fp2_sub,
+)
+from .params import D, is_on_curve
+from .point import AffinePoint
+
+#: Encoded point size in bytes.
+ENCODED_SIZE = 32
+
+_SIGN_BIT = 1 << 127
+
+
+class DecodingError(ValueError):
+    """Raised for malformed or off-curve point encodings."""
+
+
+def _x_sign(x: Fp2Raw) -> int:
+    """The canonical sign bit of x: lsb of x0, or of x1 when x0 = 0."""
+    if x[0] != 0:
+        return x[0] & 1
+    return x[1] & 1
+
+
+def encode_point(pt: AffinePoint) -> bytes:
+    """Compress an affine point into 32 bytes (y plus x's sign bit)."""
+    y0, y1 = pt.y
+    word1 = y1 | (_SIGN_BIT if _x_sign(pt.x) else 0)
+    return y0.to_bytes(16, "little") + word1.to_bytes(16, "little")
+
+
+def decode_point(data: bytes) -> AffinePoint:
+    """Decompress 32 bytes into a validated affine point.
+
+    Raises:
+        DecodingError: wrong length, reserved bit set, coordinate out of
+            range, or no curve point with the encoded y exists.
+    """
+    if len(data) != ENCODED_SIZE:
+        raise DecodingError(f"expected {ENCODED_SIZE} bytes, got {len(data)}")
+    w0 = int.from_bytes(data[:16], "little")
+    w1 = int.from_bytes(data[16:], "little")
+    if w0 & _SIGN_BIT:
+        raise DecodingError("reserved bit set in first half")
+    sign = 1 if (w1 & _SIGN_BIT) else 0
+    y0 = w0
+    y1 = w1 & ~_SIGN_BIT
+    if y0 >= P127 or y1 >= P127:
+        raise DecodingError("y coordinate out of range")
+    y: Fp2Raw = (y0, y1)
+
+    # x^2 = (y^2 - 1) / (d y^2 + 1); the denominator never vanishes for
+    # valid encodings because -1/d is a non-square.
+    y2 = fp2_sqr(y)
+    num = fp2_sub(y2, (1, 0))
+    den = fp2_add(fp2_mul(D, y2), (1, 0))
+    if den == (0, 0):
+        raise DecodingError("invalid y (denominator vanishes)")
+    x2 = fp2_mul(num, fp2_inv(den))
+    x = fp2_sqrt(x2)
+    if x is None:
+        raise DecodingError("not a curve point (x^2 is a non-square)")
+    if _x_sign(x) != sign:
+        x = fp2_neg(x)
+    if _x_sign(x) != sign:
+        # Both roots have the same sign bit only when x = 0; then the
+        # sign bit must be 0.
+        if x != (0, 0) or sign != 0:
+            raise DecodingError("sign bit inconsistent with x = 0")
+    pt = AffinePoint(x, y, check=False)
+    if not is_on_curve(pt.x, pt.y):
+        raise DecodingError("decoded point fails the curve equation")
+    return pt

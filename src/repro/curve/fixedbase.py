@@ -1,0 +1,161 @@
+"""Fixed-base scalar multiplication via the mLSB-set comb method.
+
+Key generation and signing always multiply the *same* base point, so a
+one-time precomputed table turns 64 doublings into table lookups.  The
+FourQ software library and the FPGA implementation (paper reference
+[10]) both ship a fixed-base path; this module provides the equivalent:
+
+* a comb table of ``2^(w-1) * d`` points for width ``w`` and ``v``
+  digit columns, built once per base point;
+* a constant-pattern evaluation loop of about ``ceil(t / (w*v))``
+  doublings plus ``v`` additions per round, where ``t`` is the scalar
+  length.
+
+The implementation recodes the scalar with the signed all-bits-set
+representation (every odd scalar is a sum of +-1 digit columns), the
+standard trick that keeps the table in odd multiples and the loop
+constant-time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .edwards import (
+    RAW_OPS,
+    PointR1,
+    PointR2,
+    ecc_add_core,
+    ecc_double,
+    ecc_normalize,
+    point_r1_from_affine,
+    r1_to_r2,
+    r2_negate,
+)
+from .params import SUBGROUP_ORDER_N
+from .point import AffinePoint
+
+
+class FixedBaseTable:
+    """Precomputed comb table for one base point.
+
+    Args:
+        base: the fixed point (must have order N).
+        width: comb width w (digits per column), default 4.
+        columns: number of comb columns v, default 2.
+
+    The scalar is processed as ``d = ceil(t / (w*v))`` rows; each row
+    consumes one signed digit per column.  Table size: ``v * 2^(w-1)``
+    precomputed points in R2 form.
+    """
+
+    def __init__(self, base: AffinePoint, width: int = 4, columns: int = 2):
+        if width < 2 or columns < 1:
+            raise ValueError("need width >= 2 and columns >= 1")
+        self.base = base
+        self.width = width
+        self.columns = columns
+        self.t_bits = SUBGROUP_ORDER_N.bit_length() + 1  # signed recoding
+        self.rows = -(-self.t_bits // (width * columns))
+        self._build()
+
+    def _build(self) -> None:
+        w, v, d = self.width, self.columns, self.rows
+        # Powers of 2 ladder of the base: B_i = [2^(i*d)]B for the w
+        # digit bits of one column; columns are offset by w*d.
+        doubled: List[AffinePoint] = [self.base]
+        for _ in range(w * v * d):
+            doubled.append(doubled[-1] + doubled[-1])
+
+        self.table: List[List[PointR2]] = []
+        for col in range(v):
+            col_entries: List[PointR2] = []
+            base_exp = col * w * d
+            # Entry u (u in [0, 2^(w-1))) encodes digit bits b_1..b_{w-1}
+            # relative to the implicit +1 low bit:
+            # P_u = B0 + sum_{j>=1} (+-) 2^(j*d) B ... with the signed
+            # all-bits-set recoding the entry is
+            # [1 + sum 2 u_j 2^(j d)] B(col)  -- build by affine sums.
+            for u in range(1 << (w - 1)):
+                acc = doubled[base_exp]
+                for j in range(1, w):
+                    bit = (u >> (j - 1)) & 1
+                    q = doubled[base_exp + j * d]
+                    acc = acc + q if bit else acc - q
+                col_entries.append(
+                    r1_to_r2(point_r1_from_affine(acc.x, acc.y))
+                )
+            self.table.append(col_entries)
+
+    # -- scalar recoding -------------------------------------------------
+    def _recode(self, k: int) -> List[List[int]]:
+        """Signed digits per (row, column); digit = (index, sign)."""
+        n = SUBGROUP_ORDER_N
+        k %= n
+        if k == 0:
+            return []
+        # Make k odd (adjust with N, which is odd: k or k+N is odd).
+        self._even_fix = False
+        if k % 2 == 0:
+            k = k + n
+            self._even_fix = True  # no correction needed: same class mod N
+        w, v, d = self.width, self.columns, self.rows
+        total = w * v * d
+        # Signed all-bits-set: bits b_0..b_{total-1} with b_i in {+-1}:
+        # s_i = 2*bit_{i+1} - 1 style (as in GLV-SAC single-scalar).
+        if k.bit_length() > total:
+            k %= n
+        signs = [1 if (k >> (i + 1)) & 1 else -1 for i in range(total - 1)]
+        signs.append(1)
+        # Verify: sum signs_i 2^i == k (guaranteed for odd k < 2^total).
+        digits: List[List[int]] = []
+        for row in range(d):
+            row_digits = []
+            for col in range(v):
+                base_i = col * w * d + row
+                s0 = signs[base_i]
+                u = 0
+                for j in range(1, w):
+                    idx = base_i + j * d
+                    bit_sign = signs[idx] if idx < total else -1
+                    # relative sign: entry built with +q for bit 1
+                    u |= (1 if bit_sign == s0 else 0) << (j - 1)
+                row_digits.append((u, s0))
+            digits.append(row_digits)
+        return digits
+
+    # -- evaluation --------------------------------------------------------
+    def multiply(self, k: int) -> AffinePoint:
+        """[k]B using the comb table (constant operation pattern)."""
+        digits = self._recode(k)
+        if not digits:
+            return AffinePoint.identity()
+        ops = RAW_OPS
+        q: Optional[PointR1] = None
+        for row in reversed(range(self.rows)):
+            if q is not None:
+                q = ecc_double(q, ops)
+            for col in range(self.columns):
+                u, sign = digits[row][col]
+                entry = self.table[col][u]
+                if sign == -1:
+                    entry = r2_negate(entry, ops)
+                if q is None:
+                    q = _seed_r1(entry, ops)
+                else:
+                    q = ecc_add_core(q, entry, ops)
+        assert q is not None
+        x, y = ecc_normalize(q, ops)
+        return AffinePoint(x, y, check=False)
+
+    @property
+    def size_points(self) -> int:
+        """Number of precomputed points stored."""
+        return self.columns * (1 << (self.width - 1))
+
+
+def _seed_r1(entry: PointR2, ops) -> PointR1:
+    """R2 -> R1 seed with a valid extended coordinate (see scalarmult)."""
+    from .scalarmult import _reseed_with_valid_t
+
+    return _reseed_with_valid_t(entry, ops)

@@ -1,0 +1,112 @@
+"""Arithmetic invariants of FourQ: Frobenius trace, CM structure, Q-curve signature.
+
+These are the number-theoretic identities the endomorphism derivation
+rests on (see ``docs/derivation.md``); exposing them as library
+functions makes the claims checkable by downstream users:
+
+* the Frobenius trace t over F_{p^2} from the verified group order;
+* the CM discriminant: 4p^2 - t^2 = 40 * gamma^2 (End algebra Q(sqrt(-10)));
+* the degree-2 Q-curve signature: 2t + 4p = s^2 for an integer s
+  (existence of a norm-2p endomorphism with trace s);
+* eigenvalue consistency: the derived lambda_phi, lambda_psi satisfy
+  their characteristic relations modulo N.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..field.fp import P127
+from .params import CURVE_ORDER, SUBGROUP_ORDER_N
+
+
+@dataclass(frozen=True)
+class CurveInvariants:
+    """The computed arithmetic invariants."""
+
+    frobenius_trace: int
+    cm_discriminant: int          # the fundamental part (negative)
+    cm_conductor: int             # gamma: 4p^2 - t^2 = |D| * gamma^2
+    q_curve_trace: int            # s with s^2 = 2t + 4p
+
+    @property
+    def endomorphism_field(self) -> str:
+        return f"Q(sqrt({self.cm_discriminant // 4}))" if self.cm_discriminant % 4 == 0 else f"Q(sqrt({self.cm_discriminant}))"
+
+
+def frobenius_trace(order: int = CURVE_ORDER, p: int = P127) -> int:
+    """t = p^2 + 1 - #E(F_{p^2}); Hasse gives |t| <= 2p (checked)."""
+    t = p * p + 1 - order
+    if abs(t) > 2 * p:
+        raise ArithmeticError("trace violates the Hasse bound")
+    return t
+
+
+def _exact_sqrt(n: int) -> Optional[int]:
+    if n < 0:
+        return None
+    r = math.isqrt(n)
+    return r if r * r == n else None
+
+
+def compute_invariants(order: int = CURVE_ORDER, p: int = P127) -> CurveInvariants:
+    """Derive (and verify) the CM invariants from the group order.
+
+    Raises:
+        ArithmeticError: if the expected FourQ identities fail — i.e.
+            the supplied order does not belong to a degree-2 Q-curve
+            with CM by Q(sqrt(-10)).
+    """
+    t = frobenius_trace(order, p)
+    val = 4 * p * p - t * t
+    if val <= 0:
+        raise ArithmeticError("curve is not ordinary-looking: t^2 >= 4p^2")
+    if val % 40 != 0:
+        raise ArithmeticError("4p^2 - t^2 is not divisible by 40")
+    gamma = _exact_sqrt(val // 40)
+    if gamma is None:
+        raise ArithmeticError("4p^2 - t^2 != 40 * square: CM field mismatch")
+    s = _exact_sqrt(2 * t + 4 * p)
+    if s is None:
+        raise ArithmeticError("2t + 4p is not a square: no degree-2 Q-curve signature")
+    return CurveInvariants(
+        frobenius_trace=t,
+        cm_discriminant=-40,
+        cm_conductor=gamma,
+        q_curve_trace=s,
+    )
+
+
+def eigenvalue_relations_hold(
+    lambda_phi: int, lambda_psi: int, n: int = SUBGROUP_ORDER_N
+) -> bool:
+    """Check the derived eigenvalues' characteristic relations mod N.
+
+    lambda_phi^2 === -20, lambda_psi^2 === 8, and their product squares
+    to -160 (consistency of the composed endomorphism psi o phi).
+    """
+    lp2 = lambda_phi * lambda_phi % n
+    ls2 = lambda_psi * lambda_psi % n
+    prod2 = lambda_phi * lambda_psi % n
+    prod2 = prod2 * prod2 % n
+    return (
+        lp2 == (-20) % n
+        and ls2 == 8 % n
+        and prod2 == (-160) % n
+    )
+
+
+def subgroup_index_factorization() -> Tuple[int, int, int]:
+    """The cofactor structure 392 = 2^3 * 7^2 (paper Section II-B)."""
+    cofactor = CURVE_ORDER // SUBGROUP_ORDER_N
+    two_part = cofactor & -cofactor
+    rest = cofactor // two_part
+    seven_part = 1
+    while rest % 7 == 0:
+        seven_part *= 7
+        rest //= 7
+    if rest != 1 or two_part != 8 or seven_part != 49:
+        raise ArithmeticError(f"unexpected cofactor structure: {cofactor}")
+    return (two_part, seven_part, cofactor)

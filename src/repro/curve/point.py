@@ -1,0 +1,182 @@
+"""Reference (mathematical) point arithmetic on FourQ.
+
+This module is the *specification layer*: a complete, readable twisted
+Edwards group law in affine coordinates, used to verify everything else
+(the op-exact extended-coordinate formulas in :mod:`repro.curve.edwards`,
+the decomposition-based scalar multiplication, and the cycle-accurate
+datapath simulation).  It is deliberately simple rather than fast —
+FourQ's ``d`` is a non-square in F_{p^2}, so the affine addition law is
+complete (no exceptional cases), which makes this layer a trustworthy
+oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from ..field.fp import P127
+from ..field.fp2 import (
+    Fp2Raw,
+    fp2_add,
+    fp2_inv,
+    fp2_mul,
+    fp2_neg,
+    fp2_sqr,
+    fp2_sqrt,
+    fp2_sub,
+)
+from .params import COFACTOR, D, is_on_curve
+
+_ZERO: Fp2Raw = (0, 0)
+_ONE: Fp2Raw = (1, 0)
+
+
+class AffinePoint:
+    """An affine point on FourQ with the complete Edwards group law.
+
+    The identity element is (0, 1).  Supports ``P + Q``, ``-P``,
+    ``P - Q`` and ``k * P`` with Python operators.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: Fp2Raw, y: Fp2Raw, check: bool = True):
+        self.x = (x[0] % P127, x[1] % P127)
+        self.y = (y[0] % P127, y[1] % P127)
+        if check and not is_on_curve(self.x, self.y):
+            raise ValueError("point is not on FourQ")
+
+    # -- constructors ------------------------------------------------
+    @classmethod
+    def identity(cls) -> "AffinePoint":
+        """The neutral element (0, 1)."""
+        return cls(_ZERO, _ONE, check=False)
+
+    @classmethod
+    def generator(cls) -> "AffinePoint":
+        """The canonical order-N generator."""
+        from .params import GENERATOR_X, GENERATOR_Y
+
+        return cls(GENERATOR_X, GENERATOR_Y, check=False)
+
+    # -- predicates --------------------------------------------------
+    def is_identity(self) -> bool:
+        """True iff this is the neutral element."""
+        return self.x == _ZERO and self.y == _ONE
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash(("AffinePoint", self.x, self.y))
+
+    def __repr__(self) -> str:
+        return f"AffinePoint(x={self.x}, y={self.y})"
+
+    # -- group law ---------------------------------------------------
+    def __add__(self, other: "AffinePoint") -> "AffinePoint":
+        """Complete twisted Edwards addition (a = -1):
+
+            x3 = (x1 y2 + y1 x2) / (1 + d x1 x2 y1 y2)
+            y3 = (y1 y2 + x1 x2) / (1 - d x1 x2 y1 y2)
+        """
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        x1, y1, x2, y2 = self.x, self.y, other.x, other.y
+        x1x2 = fp2_mul(x1, x2)
+        y1y2 = fp2_mul(y1, y2)
+        x1y2 = fp2_mul(x1, y2)
+        y1x2 = fp2_mul(y1, x2)
+        dxy = fp2_mul(D, fp2_mul(x1x2, y1y2))
+        x3 = fp2_mul(fp2_add(x1y2, y1x2), fp2_inv(fp2_add(_ONE, dxy)))
+        y3 = fp2_mul(fp2_add(y1y2, x1x2), fp2_inv(fp2_sub(_ONE, dxy)))
+        return AffinePoint(x3, y3, check=False)
+
+    def __neg__(self) -> "AffinePoint":
+        """Edwards negation: -(x, y) = (-x, y)."""
+        return AffinePoint(fp2_neg(self.x), self.y, check=False)
+
+    def __sub__(self, other: "AffinePoint") -> "AffinePoint":
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        return self + (-other)
+
+    def double(self) -> "AffinePoint":
+        """Point doubling (just addition with itself; the law is complete)."""
+        return self + self
+
+    def __rmul__(self, k: int) -> "AffinePoint":
+        """Scalar multiplication [k]P by plain double-and-add.
+
+        Negative scalars multiply the negated point.  This is the
+        reference ("conventional repetitive double-and-add" of paper
+        Section II-A) against which the 4-dimensional decomposition and
+        the hardware simulation are checked.
+        """
+        if not isinstance(k, int):
+            return NotImplemented
+        if k < 0:
+            return (-k) * (-self)
+        acc = AffinePoint.identity()
+        base = self
+        while k:
+            if k & 1:
+                acc = acc + base
+            base = base.double()
+            k >>= 1
+        return acc
+
+    def __mul__(self, k: int) -> "AffinePoint":
+        return self.__rmul__(k)
+
+    # -- helpers -----------------------------------------------------
+    def clear_cofactor(self) -> "AffinePoint":
+        """Multiply by the cofactor 392, landing in the order-N subgroup."""
+        return COFACTOR * self
+
+
+def lift_x(x: Fp2Raw) -> Optional[Tuple[Fp2Raw, Fp2Raw]]:
+    """Find ``y`` with (x, y) on FourQ, or None if no such y exists.
+
+    Rearranging ``-x^2 + y^2 = 1 + d x^2 y^2`` gives
+    ``y^2 = (1 + x^2) / (1 - d x^2)``.
+    """
+    x2 = fp2_sqr(x)
+    num = fp2_add(_ONE, x2)
+    den = fp2_sub(_ONE, fp2_mul(D, x2))
+    if den == _ZERO:
+        return None
+    y2 = fp2_mul(num, fp2_inv(den))
+    y = fp2_sqrt(y2)
+    if y is None:
+        return None
+    return (x, y)
+
+
+def random_point(rng: Optional[random.Random] = None) -> AffinePoint:
+    """A uniformly-ish random point of the full group E(F_{p^2}).
+
+    Samples random x until the curve equation is solvable, then picks a
+    root.  Used by parameter verification and the property tests.
+    """
+    rng = rng or random.Random()
+    while True:
+        x = (rng.randrange(P127), rng.randrange(P127))
+        lifted = lift_x(x)
+        if lifted is None:
+            continue
+        x, y = lifted
+        if rng.getrandbits(1):
+            y = fp2_neg(y)
+        return AffinePoint(x, y, check=False)
+
+
+def random_subgroup_point(rng: Optional[random.Random] = None) -> AffinePoint:
+    """A random point of the prime-order-N subgroup (cofactor-cleared)."""
+    while True:
+        pt = random_point(rng).clear_cofactor()
+        if not pt.is_identity():
+            return pt

@@ -1,0 +1,333 @@
+"""Weierstrass / Montgomery models of FourQ and Velu isogeny machinery.
+
+The endomorphism derivation works on the short Weierstrass model
+
+    E_W : y^2 = x^3 + aW x + bW
+
+obtained from FourQ's twisted Edwards form via the standard birational
+maps (Edwards -> Montgomery -> Weierstrass).  This module provides:
+
+* the model coefficients and the forward/backward point maps,
+* j-invariants and curve isomorphism search (``(x, y) -> (u^2 x, u^3 y)``),
+* Velu isogenies of degree 2 (rational kernel) and odd degree with a
+  conjugate-pair kernel over F_{p^4} (used for the degree-5 piece of
+  FourQ's phi),
+* the 5-division polynomial.
+
+The normalized Velu isogeny with x-map ``X(x)`` has y-map
+``Y(x, y) = y * X'(x)`` (it pulls the invariant differential back to
+itself), which lets every map here be represented as (X, X') pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..field.fp import P127
+from ..field.fp2 import (
+    ONE,
+    ZERO,
+    Fp2Raw,
+    fp2_add,
+    fp2_conj,
+    fp2_inv,
+    fp2_mul,
+    fp2_neg,
+    fp2_sqr,
+    fp2_sqrt,
+    fp2_sub,
+)
+from ..field.tower import (
+    F4_ONE,
+    F4_ZERO,
+    Fp4Raw,
+    f4,
+    f4_add,
+    f4_in_base,
+    f4_inv,
+    f4_mul,
+    f4_neg,
+    f4_sqr,
+    f4_sqrt,
+    f4_sub,
+)
+from ..nt.poly import Poly, poly_mul, poly_sub
+from .params import D
+from .point import AffinePoint
+
+WPoint = Tuple[Fp2Raw, Fp2Raw]
+
+
+def _c(n: int) -> Fp2Raw:
+    """Small integer constant as an F_{p^2} element."""
+    return (n % P127, 0)
+
+
+@dataclass(frozen=True)
+class WeierstrassModel:
+    """The short Weierstrass model of FourQ plus the coordinate maps."""
+
+    a_mont: Fp2Raw
+    b_mont: Fp2Raw
+    a: Fp2Raw
+    b: Fp2Raw
+
+    @classmethod
+    def of_fourq(cls) -> "WeierstrassModel":
+        """Construct the model from the twisted Edwards constants.
+
+        Twisted Edwards E_{a,d} (a = -1) is birational to Montgomery
+        ``B v^2 = u^3 + A u^2 + u`` with ``A = 2(a+d)/(a-d)`` and
+        ``B = 4/(a-d)``; Montgomery maps to short Weierstrass via
+        ``x = (3u + A) / (3B)``, ``y = v / B``.
+        """
+        a_ed = fp2_neg(ONE)
+        den = fp2_sub(a_ed, D)
+        a_mont = fp2_mul(fp2_add(a_ed, D), fp2_mul(_c(2), fp2_inv(den)))
+        b_mont = fp2_mul(_c(4), fp2_inv(den))
+        am2 = fp2_sqr(a_mont)
+        am3 = fp2_mul(am2, a_mont)
+        bm2 = fp2_sqr(b_mont)
+        a_w = fp2_mul(fp2_sub(_c(3), am2), fp2_inv(fp2_mul(_c(3), bm2)))
+        b_w = fp2_mul(
+            fp2_sub(fp2_mul(_c(2), am3), fp2_mul(_c(9), a_mont)),
+            fp2_inv(fp2_mul(_c(27), fp2_mul(bm2, b_mont))),
+        )
+        return cls(a_mont=a_mont, b_mont=b_mont, a=a_w, b=b_w)
+
+    # -- point maps ----------------------------------------------------
+    def from_edwards(self, pt: AffinePoint) -> WPoint:
+        """Map an affine Edwards point (not the identity, not order 2)
+        to the Weierstrass model."""
+        x, y = pt.x, pt.y
+        u = fp2_mul(fp2_add(ONE, y), fp2_inv(fp2_sub(ONE, y)))
+        v = fp2_mul(u, fp2_inv(x))
+        wx = fp2_mul(
+            fp2_add(fp2_mul(_c(3), u), self.a_mont),
+            fp2_inv(fp2_mul(_c(3), self.b_mont)),
+        )
+        wy = fp2_mul(v, fp2_inv(self.b_mont))
+        return (wx, wy)
+
+    def to_edwards(self, pt: WPoint) -> AffinePoint:
+        """Inverse map back to the Edwards model."""
+        wx, wy = pt
+        u = fp2_sub(
+            fp2_mul(self.b_mont, wx),
+            fp2_mul(self.a_mont, fp2_inv(_c(3))),
+        )
+        v = fp2_mul(wy, self.b_mont)
+        x = fp2_mul(u, fp2_inv(v))
+        y = fp2_mul(fp2_sub(u, ONE), fp2_inv(fp2_add(u, ONE)))
+        return AffinePoint(x, y, check=False)
+
+    def contains(self, pt: WPoint) -> bool:
+        """Check the Weierstrass equation."""
+        wx, wy = pt
+        rhs = fp2_add(
+            fp2_add(fp2_mul(fp2_sqr(wx), wx), fp2_mul(self.a, wx)), self.b
+        )
+        return fp2_sqr(wy) == rhs
+
+
+def j_invariant(a: Fp2Raw, b: Fp2Raw) -> Fp2Raw:
+    """j = 1728 * 4a^3 / (4a^3 + 27b^2) for y^2 = x^3 + ax + b."""
+    a3 = fp2_mul(fp2_sqr(a), a)
+    num = fp2_mul(_c(6912), a3)
+    den = fp2_add(fp2_mul(_c(4), a3), fp2_mul(_c(27), fp2_sqr(b)))
+    return fp2_mul(num, fp2_inv(den))
+
+
+def find_isomorphisms(
+    a1: Fp2Raw, b1: Fp2Raw, a2: Fp2Raw, b2: Fp2Raw
+) -> List[Fp2Raw]:
+    """All u in F_{p^2} with (x,y) -> (u^2 x, u^3 y) : E1 -> E2.
+
+    Requires ``a2 = u^4 a1`` and ``b2 = u^6 b1``; returns every solution
+    (up to four).  An empty list means the curves are not isomorphic
+    over F_{p^2} (they may still be twists).
+    """
+    out: List[Fp2Raw] = []
+    ra = fp2_mul(a2, fp2_inv(a1))
+    rb = fp2_mul(b2, fp2_inv(b1))
+    t = fp2_sqrt(ra)  # candidate u^2
+    if t is None:
+        return out
+    for tt in (t, fp2_neg(t)):
+        if fp2_mul(fp2_sqr(tt), tt) == rb:
+            u = fp2_sqrt(tt)
+            if u is not None:
+                out.extend([u, fp2_neg(u)])
+    return out
+
+
+@dataclass(frozen=True)
+class Isogeny2:
+    """Velu 2-isogeny from y^2 = x^3 + ax + b with rational kernel (x0, 0).
+
+    X(x) = x + v/(x - x0),  Y(x, y) = y * (1 - v/(x - x0)^2),
+    image curve (a - 5v, b - 7 v x0) with v = 3 x0^2 + a.
+    """
+
+    a: Fp2Raw
+    b: Fp2Raw
+    x0: Fp2Raw
+    v: Fp2Raw
+    a_image: Fp2Raw
+    b_image: Fp2Raw
+
+    @classmethod
+    def from_kernel(cls, a: Fp2Raw, b: Fp2Raw, x0: Fp2Raw) -> "Isogeny2":
+        v = fp2_add(fp2_mul(_c(3), fp2_sqr(x0)), a)
+        return cls(
+            a=a,
+            b=b,
+            x0=x0,
+            v=v,
+            a_image=fp2_sub(a, fp2_mul(_c(5), v)),
+            b_image=fp2_sub(b, fp2_mul(_c(7), fp2_mul(x0, v))),
+        )
+
+    def __call__(self, pt: WPoint) -> WPoint:
+        x, y = pt
+        inv = fp2_inv(fp2_sub(x, self.x0))
+        xo = fp2_add(x, fp2_mul(self.v, inv))
+        yo = fp2_mul(y, fp2_sub(ONE, fp2_mul(self.v, fp2_sqr(inv))))
+        return (xo, yo)
+
+
+@dataclass(frozen=True)
+class Isogeny5:
+    """Velu 5-isogeny whose kernel x-coordinates are an F_{p^4} pair.
+
+    The kernel is Galois-stable (it is cut out by an irreducible
+    quadratic factor of the 5-division polynomial over F_{p^2}), so the
+    isogeny and its image curve are defined over F_{p^2} even though
+    the individual per-point Velu terms live in F_{p^4}.  Evaluation
+    embeds the input into F_{p^4}, sums the terms, and checks that the
+    result collapses back into F_{p^2}.
+    """
+
+    a: Fp2Raw
+    b: Fp2Raw
+    kernel_xs: Tuple[Fp4Raw, Fp4Raw]
+    terms: Tuple[Tuple[Fp4Raw, Fp4Raw, Fp4Raw], ...]
+    a_image: Fp2Raw
+    b_image: Fp2Raw
+
+    @classmethod
+    def from_kernel_pair(
+        cls, a: Fp2Raw, b: Fp2Raw, x1: Fp4Raw, x2: Fp4Raw
+    ) -> "Isogeny5":
+        a4, b4 = f4(a), f4(b)
+        terms = []
+        vsum, wsum = F4_ZERO, F4_ZERO
+        for xq in (x1, x2):
+            gx = f4_add(f4_mul(f4(_c(3)), f4_sqr(xq)), a4)
+            fx = f4_add(
+                f4_add(f4_mul(f4_sqr(xq), xq), f4_mul(a4, xq)), b4
+            )
+            uq = f4_mul(f4(_c(4)), fx)
+            vq = f4_mul(f4(_c(2)), gx)
+            terms.append((xq, vq, uq))
+            vsum = f4_add(vsum, vq)
+            wsum = f4_add(wsum, f4_add(uq, f4_mul(xq, vq)))
+        a_img4 = f4_sub(a4, f4_mul(f4(_c(5)), vsum))
+        b_img4 = f4_sub(b4, f4_mul(f4(_c(7)), wsum))
+        if not (f4_in_base(a_img4) and f4_in_base(b_img4)):
+            raise ValueError("kernel pair is not Galois-stable")
+        return cls(
+            a=a,
+            b=b,
+            kernel_xs=(x1, x2),
+            terms=tuple(terms),
+            a_image=a_img4[0],
+            b_image=b_img4[0],
+        )
+
+    def __call__(self, pt: WPoint) -> WPoint:
+        x4, y4 = f4(pt[0]), f4(pt[1])
+        corr, dcorr = F4_ZERO, F4_ZERO
+        for xq, vq, uq in self.terms:
+            inv = f4_inv(f4_sub(x4, xq))
+            inv2 = f4_sqr(inv)
+            corr = f4_add(corr, f4_add(f4_mul(vq, inv), f4_mul(uq, inv2)))
+            dcorr = f4_add(
+                dcorr,
+                f4_add(
+                    f4_mul(vq, inv2),
+                    f4_mul(f4_mul(f4(_c(2)), uq), f4_mul(inv2, inv)),
+                ),
+            )
+        xo = f4_add(x4, corr)
+        yo = f4_mul(y4, f4_sub(F4_ONE, dcorr))
+        if not (f4_in_base(xo) and f4_in_base(yo)):
+            raise ValueError("isogeny output escaped F_{p^2}")
+        return (xo[0], yo[0])
+
+
+def two_torsion_xs(a: Fp2Raw, b: Fp2Raw) -> List[Fp2Raw]:
+    """Rational x-coordinates of 2-torsion: roots of x^3 + ax + b."""
+    from ..nt.poly import poly_roots
+
+    return poly_roots([b, a, ZERO, ONE])
+
+
+def division_poly_5(a: Fp2Raw, b: Fp2Raw) -> Poly:
+    """The 5-division polynomial of y^2 = x^3 + ax + b (degree 12).
+
+    psi_5 = 32 f(x)^2 g(x) - psi_3(x)^3 with f the curve cubic,
+    psi_3 = 3x^4 + 6ax^2 + 12bx - a^2 and
+    g = x^6 + 5ax^4 + 20bx^3 - 5a^2x^2 - 4abx - (8b^2 + a^3).
+    """
+    f_poly: Poly = [b, a, ZERO, ONE]
+    psi3: Poly = [
+        fp2_neg(fp2_sqr(a)),
+        fp2_mul(_c(12), b),
+        fp2_mul(_c(6), a),
+        ZERO,
+        _c(3),
+    ]
+    g: Poly = [
+        fp2_neg(fp2_add(fp2_mul(_c(8), fp2_sqr(b)), fp2_mul(fp2_sqr(a), a))),
+        fp2_neg(fp2_mul(_c(4), fp2_mul(a, b))),
+        fp2_neg(fp2_mul(_c(5), fp2_sqr(a))),
+        fp2_mul(_c(20), b),
+        fp2_mul(_c(5), a),
+        ZERO,
+        ONE,
+    ]
+    term1 = [
+        fp2_mul(_c(32), coeff)
+        for coeff in poly_mul(poly_mul(f_poly, f_poly), g)
+    ]
+    term2 = poly_mul(psi3, poly_mul(psi3, psi3))
+    return poly_sub(term1, term2)
+
+
+def x_double(a: Fp2Raw, b: Fp2Raw, x: Fp4Raw) -> Fp4Raw:
+    """x-coordinate of [2]Q given x(Q), over F_{p^4}.
+
+    x([2]Q) = ((x^2 - a)^2 - 8bx) / (4(x^3 + ax + b)).
+    """
+    a4, b4 = f4(a), f4(b)
+    num = f4_sub(
+        f4_sqr(f4_sub(f4_sqr(x), a4)), f4_mul(f4(_c(8)), f4_mul(b4, x))
+    )
+    den = f4_mul(
+        f4(_c(4)),
+        f4_add(f4_add(f4_mul(f4_sqr(x), x), f4_mul(a4, x)), b4),
+    )
+    return f4_mul(num, f4_inv(den))
+
+
+def conj_point(pt: WPoint) -> WPoint:
+    """Coordinate-wise Galois conjugation (maps E^sigma points to E points)."""
+    return (fp2_conj(pt[0]), fp2_conj(pt[1]))
+
+
+def scale_point(pt: WPoint, u: Fp2Raw) -> WPoint:
+    """Apply the isomorphism (x, y) -> (u^2 x, u^3 y)."""
+    u2 = fp2_sqr(u)
+    return (fp2_mul(u2, pt[0]), fp2_mul(fp2_mul(u2, u), pt[1]))

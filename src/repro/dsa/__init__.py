@@ -1,0 +1,19 @@
+"""Digital signature algorithms: ECDSA (P-256) and Schnorr over FourQ."""
+
+from . import fourq_schnorr
+from .ecdsa import (
+    ECDSAKeyPair,
+    ECDSASignature,
+    generate_keypair,
+    sign,
+    verify,
+)
+
+__all__ = [
+    "ECDSAKeyPair",
+    "ECDSASignature",
+    "fourq_schnorr",
+    "generate_keypair",
+    "sign",
+    "verify",
+]

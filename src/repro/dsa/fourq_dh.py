@@ -1,0 +1,71 @@
+"""Diffie-Hellman key agreement over FourQ.
+
+The second workload an SM accelerator serves (alongside signatures):
+ephemeral ECDH.  Follows the FourQ software library's co-factored
+variant — the shared-secret computation clears the cofactor 392 so
+inputs of small order cannot leak key bits — with the 32-byte point
+encoding of :mod:`repro.curve.encoding`.
+
+Key generation uses the fixed-base comb table (the base never changes);
+the shared-secret step uses the variable-base Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from ..curve.encoding import DecodingError, decode_point, encode_point
+from ..curve.fixedbase import FixedBaseTable
+from ..curve.params import SUBGROUP_ORDER_N
+from ..curve.point import AffinePoint
+from ..curve.scalarmult import scalar_mul_fourq
+from ..hashes.sha256 import sha256
+
+_GENERATOR_TABLE: Optional[FixedBaseTable] = None
+
+
+def _generator_table() -> FixedBaseTable:
+    global _GENERATOR_TABLE
+    if _GENERATOR_TABLE is None:
+        _GENERATOR_TABLE = FixedBaseTable(AffinePoint.generator())
+    return _GENERATOR_TABLE
+
+
+@dataclass(frozen=True)
+class DHKeyPair:
+    private: int
+    public_bytes: bytes
+
+
+class SmallOrderPoint(ValueError):
+    """The peer's public key collapses to the identity after clearing."""
+
+
+def generate_keypair(rng=None) -> DHKeyPair:
+    """Private scalar in [1, N-1]; public point [d]G via the comb table."""
+    if rng:
+        d = rng.randrange(1, SUBGROUP_ORDER_N)
+    else:
+        d = secrets.randbelow(SUBGROUP_ORDER_N - 1) + 1
+    pub = _generator_table().multiply(d)
+    return DHKeyPair(private=d, public_bytes=encode_point(pub))
+
+
+def shared_secret(own: DHKeyPair, peer_public: bytes) -> bytes:
+    """Co-factored ECDH: SHA-256( encode( [392 * d] P_peer ) ).
+
+    Raises:
+        DecodingError: malformed peer encoding.
+        SmallOrderPoint: peer point of small order (identity after
+            cofactor clearing) — callers must abort the handshake.
+    """
+    peer = decode_point(peer_public)
+    cleared = peer.clear_cofactor()
+    if cleared.is_identity():
+        raise SmallOrderPoint("peer public key has small order")
+    shared = scalar_mul_fourq(own.private, cleared)
+    if shared.is_identity():
+        raise SmallOrderPoint("degenerate shared point")
+    return sha256(encode_point(shared))

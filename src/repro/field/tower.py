@@ -1,0 +1,167 @@
+"""The tower field F_{p^4} = F_{p^2}[w] / (w^2 - xi).
+
+The endomorphism derivation (:mod:`repro.curve.derive`) occasionally
+needs arithmetic one level above F_{p^2}: the kernel points of FourQ's
+degree-5 isogeny have x-coordinates in F_{p^4} (as Galois-conjugate
+pairs), even though the isogeny itself is defined over F_{p^2}.
+
+Elements are ``(a, b)`` pairs of raw F_{p^2} values representing
+``a + b*w``.  The non-residue ``xi`` is chosen deterministically as the
+first non-square of the form ``small + i`` so that derivations are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .fp import P127
+from .fp2 import (
+    Fp2Raw,
+    fp2_add,
+    fp2_inv,
+    fp2_is_square,
+    fp2_mul,
+    fp2_neg,
+    fp2_sqr,
+    fp2_sub,
+)
+
+Fp4Raw = Tuple[Fp2Raw, Fp2Raw]
+
+
+def _find_nonresidue() -> Fp2Raw:
+    """Deterministic non-square in F_{p^2} (smallest c with c + i non-square)."""
+    c = 0
+    while True:
+        cand = (c, 1)
+        if not fp2_is_square(cand):
+            return cand
+        c += 1
+
+
+#: The quadratic non-residue defining the tower.
+XI: Fp2Raw = _find_nonresidue()
+
+F4_ZERO: Fp4Raw = ((0, 0), (0, 0))
+F4_ONE: Fp4Raw = ((1, 0), (0, 0))
+
+#: Multiplicative group order of F_{p^4} plus one.
+Q4 = P127 ** 4
+
+
+def f4(a: Fp2Raw) -> Fp4Raw:
+    """Embed an F_{p^2} element into F_{p^4}."""
+    return (a, (0, 0))
+
+
+def f4_in_base(x: Fp4Raw) -> bool:
+    """True iff x lies in the F_{p^2} subfield (w-component zero)."""
+    return x[1] == (0, 0)
+
+
+def f4_add(x: Fp4Raw, y: Fp4Raw) -> Fp4Raw:
+    return (fp2_add(x[0], y[0]), fp2_add(x[1], y[1]))
+
+
+def f4_sub(x: Fp4Raw, y: Fp4Raw) -> Fp4Raw:
+    return (fp2_sub(x[0], y[0]), fp2_sub(x[1], y[1]))
+
+
+def f4_neg(x: Fp4Raw) -> Fp4Raw:
+    return (fp2_neg(x[0]), fp2_neg(x[1]))
+
+
+def f4_mul(x: Fp4Raw, y: Fp4Raw) -> Fp4Raw:
+    a, b = x
+    c, d = y
+    ac = fp2_mul(a, c)
+    bd = fp2_mul(b, d)
+    # (a + bw)(c + dw) = ac + xi*bd + (ad + bc) w
+    return (
+        fp2_add(ac, fp2_mul(XI, bd)),
+        fp2_add(fp2_mul(a, d), fp2_mul(b, c)),
+    )
+
+
+def f4_sqr(x: Fp4Raw) -> Fp4Raw:
+    return f4_mul(x, x)
+
+
+def f4_inv(x: Fp4Raw) -> Fp4Raw:
+    """Inverse via the norm down to F_{p^2}: (a+bw)^-1 = (a-bw)/(a^2 - xi b^2)."""
+    a, b = x
+    nrm = fp2_sub(fp2_sqr(a), fp2_mul(XI, fp2_sqr(b)))
+    ni = fp2_inv(nrm)
+    return (fp2_mul(a, ni), fp2_neg(fp2_mul(b, ni)))
+
+
+def f4_pow(x: Fp4Raw, e: int) -> Fp4Raw:
+    if e < 0:
+        return f4_pow(f4_inv(x), -e)
+    r = F4_ONE
+    while e:
+        if e & 1:
+            r = f4_mul(r, x)
+        x = f4_sqr(x)
+        e >>= 1
+    return r
+
+
+def f4_is_square(x: Fp4Raw) -> bool:
+    if x == F4_ZERO:
+        return True
+    return f4_pow(x, (Q4 - 1) // 2) == F4_ONE
+
+
+_TS_NONSQUARE: Optional[Fp4Raw] = None
+
+
+def _ts_nonsquare() -> Fp4Raw:
+    """A fixed non-square of F_{p^4} for Tonelli-Shanks (found once)."""
+    global _TS_NONSQUARE
+    if _TS_NONSQUARE is None:
+        c = 0
+        while True:
+            cand: Fp4Raw = ((c, 1), (1, 0))
+            if not f4_is_square(cand):
+                _TS_NONSQUARE = cand
+                break
+            c += 1
+    return _TS_NONSQUARE
+
+
+def f4_sqrt(x: Fp4Raw) -> Optional[Fp4Raw]:
+    """Square root in F_{p^4} via Tonelli-Shanks, or None for a non-square.
+
+    The 2-adic valuation of ``p^4 - 1`` is 129 (p + 1 = 2^127), so the
+    generic Tonelli-Shanks loop is required here — the shortcut
+    exponentiations used in the lower fields do not apply.
+    """
+    if x == F4_ZERO:
+        return F4_ZERO
+    if not f4_is_square(x):
+        return None
+    q = Q4 - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = _ts_nonsquare()
+    m = s
+    c = f4_pow(z, q)
+    t = f4_pow(x, q)
+    r = f4_pow(x, (q + 1) // 2)
+    while t != F4_ONE:
+        i, tt = 0, t
+        while tt != F4_ONE:
+            tt = f4_sqr(tt)
+            i += 1
+        b = c
+        for _ in range(m - i - 1):
+            b = f4_sqr(b)
+        m = i
+        c = f4_sqr(b)
+        t = f4_mul(t, c)
+        r = f4_mul(r, b)
+    return r

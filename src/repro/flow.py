@@ -1,0 +1,117 @@
+"""The end-to-end automated design flow of the paper (Section III-C).
+
+One call takes the Python-traced algorithm all the way to a verified
+cycle-accurate execution:
+
+    trace (Step 1-2)  ->  job-shop scheduling (Step 3)
+                      ->  control-signal generation (Step 4)
+                      ->  cycle-accurate datapath simulation (verify)
+
+:func:`run_flow` returns every intermediate artifact so benchmarks and
+examples can report sizes, makespans, ROM geometry, and simulation
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from .isa.fsm import FSMController, generate_fsm
+from .isa.microcode import MicroProgram, assemble
+from .rtl.datapath import DatapathSimulator, SimulationResult
+from .sched.cp_scheduler import cp_schedule
+from .sched.jobshop import JobShopProblem, MachineSpec, problem_from_trace
+from .sched.list_scheduler import list_schedule
+from .sched.schedule import Schedule
+from .trace.program import TraceProgram
+
+
+@dataclass
+class FlowResult:
+    """All artifacts of one pass through the design flow."""
+
+    trace_program: TraceProgram
+    problem: JobShopProblem
+    schedule: Schedule
+    microprogram: MicroProgram
+    fsm: FSMController
+    simulation: SimulationResult
+
+    @property
+    def cycles(self) -> int:
+        """Total executed cycles (the number the latency model uses)."""
+        return self.simulation.cycles
+
+    def report(self) -> str:
+        from .trace.ops import Unit
+
+        lines = [
+            f"workload        : {self.trace_program.description}",
+            f"micro-ops       : {self.problem.size} "
+            f"({self.problem.unit_load(Unit.MULTIPLIER)} mult / "
+            f"{self.problem.unit_load(Unit.ADDSUB)} add-sub)",
+            f"schedule        : {self.schedule.summary()}",
+            f"registers       : {self.microprogram.register_count}",
+            f"program ROM     : {self.microprogram.cycles} words x "
+            f"{self.fsm.word_bits} bits = {self.fsm.rom_kilobits:.1f} kbit",
+            f"simulated cycles: {self.simulation.cycles}",
+        ]
+        return "\n".join(lines)
+
+
+def run_flow(
+    trace_program: TraceProgram,
+    machine: Optional[MachineSpec] = None,
+    scheduler: str = "auto",
+    cp_node_budget: int = 200_000,
+    check_golden: bool = True,
+) -> FlowResult:
+    """Run the complete flow on a recorded trace.
+
+    Args:
+        trace_program: output of :func:`repro.trace.trace_scalar_mult`
+            or :func:`repro.trace.trace_loop_iteration`.
+        machine: datapath timing model (default: 3-cycle pipelined
+            multiplier, 1-cycle adder, 4R/2W ports, forwarding on).
+        scheduler: ``"list"``, ``"cp"`` or ``"auto"`` (CP for kernels up
+            to 64 ops, list scheduling beyond).
+        cp_node_budget: branch-and-bound node limit for the CP solver.
+        check_golden: verify every writeback against the traced values.
+
+    Returns:
+        A :class:`FlowResult`; raises if any stage fails validation.
+    """
+    machine = machine or MachineSpec()
+    tracer = trace_program.tracer
+    problem = problem_from_trace(tracer.trace, machine)
+
+    if scheduler == "auto":
+        scheduler = "cp" if problem.size <= 64 else "list"
+    if scheduler == "cp":
+        schedule = cp_schedule(problem, node_budget=cp_node_budget).schedule
+    elif scheduler == "list":
+        schedule = list_schedule(problem)
+    else:
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+    schedule.validate()
+
+    names = {}
+    for uid in tracer.outputs:
+        names[uid] = tracer.trace[uid].name
+    microprogram = assemble(
+        problem, schedule, tracer.trace, tracer.outputs, output_names=names
+    )
+    fsm = generate_fsm(microprogram)
+    sim = DatapathSimulator(
+        mult_depth=machine.mult_latency, addsub_depth=machine.addsub_latency
+    ).run(microprogram, check_golden=check_golden)
+
+    return FlowResult(
+        trace_program=trace_program,
+        problem=problem,
+        schedule=schedule,
+        microprogram=microprogram,
+        fsm=fsm,
+        simulation=sim,
+    )

@@ -1,0 +1,5 @@
+"""Hash functions (from scratch, FIPS 180-4)."""
+
+from .sha256 import sha256, sha256_hex, sha256_int
+
+__all__ = ["sha256", "sha256_hex", "sha256_int"]

@@ -1,0 +1,37 @@
+"""Microcode generation: schedule -> register allocation -> ROM + FSM."""
+
+from .export import (
+    export_program_json,
+    export_rom_hex,
+    import_program_json,
+)
+from .fsm import ADDSUB_OPCODES, FSMController, decode_word, generate_fsm
+from .microcode import (
+    ControlWord,
+    MicroProgram,
+    Operand,
+    OperandSource,
+    UnitIssue,
+    Writeback,
+    assemble,
+)
+from .regalloc import Allocation, allocate_registers
+
+__all__ = [
+    "ADDSUB_OPCODES",
+    "Allocation",
+    "ControlWord",
+    "FSMController",
+    "decode_word",
+    "export_program_json",
+    "export_rom_hex",
+    "import_program_json",
+    "MicroProgram",
+    "Operand",
+    "OperandSource",
+    "UnitIssue",
+    "Writeback",
+    "allocate_registers",
+    "assemble",
+    "generate_fsm",
+]

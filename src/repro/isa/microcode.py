@@ -1,0 +1,181 @@
+"""Microcode assembly: schedule + allocation -> program ROM contents.
+
+This is Step 4 of the paper's flow: "According to the scheduled
+results, control signals for the datapath [are] automatically
+generated."  A :class:`ControlWord` holds everything the datapath needs
+in one cycle: what each functional unit issues (with operand sources:
+register file ports or forwarding paths) and which results are written
+back to which registers.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sched.jobshop import JobShopProblem
+from ..sched.schedule import Schedule
+from ..trace.ops import MicroOp, OpKind, Unit
+from .regalloc import Allocation, allocate_registers
+
+
+class OperandSource(enum.Enum):
+    """Where a unit input comes from in a given cycle."""
+
+    REGISTER = "rf"
+    FORWARD_MULT = "fwd_mult"
+    FORWARD_ADDSUB = "fwd_addsub"
+
+
+@dataclass(frozen=True)
+class Operand:
+    source: OperandSource
+    register: int = -1  # valid when source is REGISTER
+
+    def render(self) -> str:
+        if self.source is OperandSource.REGISTER:
+            return f"r{self.register}"
+        return "M_out" if self.source is OperandSource.FORWARD_MULT else "S_out"
+
+
+@dataclass(frozen=True)
+class UnitIssue:
+    """One functional-unit issue: the op and its operand routing."""
+
+    kind: OpKind
+    operands: Tuple[Operand, ...]
+    dest_uid: int
+
+    def render(self) -> str:
+        args = ", ".join(o.render() for o in self.operands)
+        return f"{self.kind.value}({args})"
+
+
+@dataclass(frozen=True)
+class Writeback:
+    register: int
+    unit: Unit
+    uid: int
+
+
+@dataclass
+class ControlWord:
+    """Control signals for one clock cycle."""
+
+    cycle: int
+    mult: Optional[UnitIssue] = None
+    addsub: Optional[UnitIssue] = None
+    writebacks: Tuple[Writeback, ...] = ()
+
+
+@dataclass
+class MicroProgram:
+    """The assembled program: ROM image + register-file preload + outputs."""
+
+    words: List[ControlWord]
+    preload: Dict[int, Tuple[int, int]]
+    register_count: int
+    outputs: Dict[str, int]          # output name -> register
+    golden: Dict[int, Tuple[int, int]]  # uid -> expected value (self-check)
+    uid_reg: Dict[int, int]
+
+    @property
+    def cycles(self) -> int:
+        return len(self.words)
+
+    @property
+    def rom_bits_per_word(self) -> int:
+        """Width of one control word in the program ROM.
+
+        Fields: 2 unit enables + 2x2 operand source selects (2 bits) +
+        4 read addresses + 3-bit addsub opcode + 2 writeback enables +
+        2 write addresses.
+        """
+        addr = max(1, math.ceil(math.log2(max(self.register_count, 2))))
+        return 2 + 4 * 2 + 4 * addr + 3 + 2 + 2 * addr
+
+    @property
+    def rom_kilobits(self) -> float:
+        return self.cycles * self.rom_bits_per_word / 1000.0
+
+
+def assemble(
+    problem: JobShopProblem,
+    schedule: Schedule,
+    trace: Sequence[MicroOp],
+    outputs: Sequence[int],
+    output_names: Optional[Dict[int, str]] = None,
+) -> MicroProgram:
+    """Assemble a validated schedule into a microprogram.
+
+    Raises ScheduleError (via validate) or ValueError on inconsistency.
+    """
+    from ..sched.jobshop import resolve_select_chosen
+
+    schedule.validate()
+    alloc = allocate_registers(problem, schedule, trace, outputs)
+    lat = problem.machine.latency
+    start = schedule.start
+    op_of_uid = {op.uid: op for op in trace}
+
+    n_cycles = schedule.makespan + 1
+    words = [ControlWord(cycle=c) for c in range(n_cycles)]
+
+    unit_result_uid: Dict[Tuple[Unit, int], int] = {}
+    for t in problem.tasks:
+        unit_result_uid[(t.unit, start[t.index] + lat(t.unit))] = t.uid
+
+    for t in problem.tasks:
+        op = op_of_uid[t.uid]
+        cyc = start[t.index]
+        operands: List[Operand] = []
+        srcs = op.srcs if op.kind not in (OpKind.SQR,) else (op.srcs[0], op.srcs[0])
+        for s in srcs:
+            s = resolve_select_chosen(op_of_uid, s)
+            producer_idx = problem.uid_to_index.get(s)
+            if producer_idx is not None:
+                p_unit = problem.tasks[producer_idx].unit
+                avail = start[producer_idx] + lat(p_unit)
+                if problem.machine.forwarding and cyc == avail:
+                    operands.append(
+                        Operand(
+                            source=OperandSource.FORWARD_MULT
+                            if p_unit is Unit.MULTIPLIER
+                            else OperandSource.FORWARD_ADDSUB
+                        )
+                    )
+                    continue
+            operands.append(
+                Operand(source=OperandSource.REGISTER, register=alloc.reg_of[s])
+            )
+        issue = UnitIssue(kind=op.kind, operands=tuple(operands), dest_uid=t.uid)
+        word = words[cyc]
+        if t.unit is Unit.MULTIPLIER:
+            if word.mult is not None:
+                raise ValueError(f"multiplier double-issue at cycle {cyc}")
+            word.mult = issue
+        else:
+            if word.addsub is not None:
+                raise ValueError(f"addsub double-issue at cycle {cyc}")
+            word.addsub = issue
+        wb_cycle = cyc + lat(t.unit)
+        wb = Writeback(register=alloc.reg_of[t.uid], unit=t.unit, uid=t.uid)
+        words[wb_cycle].writebacks = words[wb_cycle].writebacks + (wb,)
+
+    names = output_names or {}
+    out_map = {}
+    for uid in outputs:
+        name = names.get(uid) or op_of_uid[uid].name or f"v{uid}"
+        out_map[name] = alloc.reg_of[resolve_select_chosen(op_of_uid, uid)]
+
+    golden = {op.uid: op.value for op in trace}
+    return MicroProgram(
+        words=words,
+        preload=dict(alloc.preload),
+        register_count=alloc.register_count,
+        outputs=out_map,
+        golden=golden,
+        uid_reg=dict(alloc.reg_of),
+    )

@@ -1,0 +1,53 @@
+"""Number-theoretic substrate: primality, lattices, polynomial algebra.
+
+These utilities back the self-verification of the FourQ curve constants
+and the runtime derivation of the scalar-decomposition lattice and the
+curve endomorphisms.
+"""
+
+from .lattice import babai_round, dot, lll_reduce, max_abs_entry
+from .poly import (
+    Poly,
+    poly_add,
+    poly_deg,
+    poly_derivative,
+    poly_divmod,
+    poly_eval,
+    poly_from_roots,
+    poly_gcd,
+    poly_mod,
+    poly_monic,
+    poly_mul,
+    poly_pow_mod,
+    poly_roots,
+    poly_scale,
+    poly_sub,
+    poly_trim,
+)
+from .primes import inverse_mod, is_probable_prime, sqrt_mod_prime
+
+__all__ = [
+    "Poly",
+    "babai_round",
+    "dot",
+    "inverse_mod",
+    "is_probable_prime",
+    "lll_reduce",
+    "max_abs_entry",
+    "poly_add",
+    "poly_deg",
+    "poly_derivative",
+    "poly_divmod",
+    "poly_eval",
+    "poly_from_roots",
+    "poly_gcd",
+    "poly_mod",
+    "poly_monic",
+    "poly_mul",
+    "poly_pow_mod",
+    "poly_roots",
+    "poly_scale",
+    "poly_sub",
+    "poly_trim",
+    "sqrt_mod_prime",
+]

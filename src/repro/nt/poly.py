@@ -1,0 +1,282 @@
+"""Univariate polynomial arithmetic over F_{p^2} and root finding.
+
+Needed by the endomorphism derivation (:mod:`repro.curve.derive`): the
+kernel of FourQ's degree-5 endomorphism phi is cut out by a factor of
+the 5-division polynomial, whose roots in F_{p^2} we locate with a
+Cantor-Zassenhaus-style equal-degree split.
+
+Polynomials are represented as lists of raw F_{p^2} coefficients
+``[(c0_re, c0_im), (c1_re, c1_im), ...]`` from the constant term up,
+always normalized so the leading coefficient is nonzero (the zero
+polynomial is the empty list).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..field.fp import P127
+from ..field.fp2 import (
+    ONE,
+    ZERO,
+    Fp2Raw,
+    fp2_add,
+    fp2_inv,
+    fp2_mul,
+    fp2_neg,
+    fp2_sub,
+)
+
+Poly = List[Fp2Raw]
+
+#: Order of the field F_{p^2}.
+Q_ORDER = P127 * P127
+
+
+def poly_trim(f: Poly) -> Poly:
+    """Strip leading zero coefficients."""
+    i = len(f)
+    while i > 0 and f[i - 1] == ZERO:
+        i -= 1
+    return f[:i]
+
+
+def poly_deg(f: Poly) -> int:
+    """Degree of f (-1 for the zero polynomial)."""
+    return len(f) - 1
+
+
+def poly_add(f: Poly, g: Poly) -> Poly:
+    """f + g."""
+    n = max(len(f), len(g))
+    out = []
+    for i in range(n):
+        a = f[i] if i < len(f) else ZERO
+        b = g[i] if i < len(g) else ZERO
+        out.append(fp2_add(a, b))
+    return poly_trim(out)
+
+
+def poly_sub(f: Poly, g: Poly) -> Poly:
+    """f - g."""
+    n = max(len(f), len(g))
+    out = []
+    for i in range(n):
+        a = f[i] if i < len(f) else ZERO
+        b = g[i] if i < len(g) else ZERO
+        out.append(fp2_sub(a, b))
+    return poly_trim(out)
+
+
+def poly_mul(f: Poly, g: Poly) -> Poly:
+    """f * g (schoolbook; degrees in this library stay tiny)."""
+    if not f or not g:
+        return []
+    out: List[Fp2Raw] = [ZERO] * (len(f) + len(g) - 1)
+    for i, a in enumerate(f):
+        if a == ZERO:
+            continue
+        for j, b in enumerate(g):
+            if b == ZERO:
+                continue
+            out[i + j] = fp2_add(out[i + j], fp2_mul(a, b))
+    return poly_trim(out)
+
+
+def poly_scale(f: Poly, c: Fp2Raw) -> Poly:
+    """c * f for a field constant c."""
+    if c == ZERO:
+        return []
+    return poly_trim([fp2_mul(a, c) for a in f])
+
+
+def poly_divmod(f: Poly, g: Poly) -> Tuple[Poly, Poly]:
+    """Polynomial division with remainder: f = q*g + r, deg r < deg g."""
+    if not g:
+        raise ZeroDivisionError("polynomial division by zero")
+    r = list(f)
+    q: List[Fp2Raw] = [ZERO] * max(0, len(f) - len(g) + 1)
+    ginv = fp2_inv(g[-1])
+    while len(r) >= len(g):
+        coef = fp2_mul(r[-1], ginv)
+        shift = len(r) - len(g)
+        q[shift] = coef
+        for i, gc in enumerate(g):
+            r[shift + i] = fp2_sub(r[shift + i], fp2_mul(coef, gc))
+        r = poly_trim(r)
+        if not r:
+            break
+    return poly_trim(q), r
+
+
+def poly_mod(f: Poly, g: Poly) -> Poly:
+    """f mod g."""
+    return poly_divmod(f, g)[1]
+
+
+def poly_monic(f: Poly) -> Poly:
+    """Scale f so its leading coefficient is 1."""
+    if not f:
+        return []
+    return poly_scale(f, fp2_inv(f[-1]))
+
+
+def poly_gcd(f: Poly, g: Poly) -> Poly:
+    """Monic greatest common divisor."""
+    a, b = list(f), list(g)
+    while b:
+        a, b = b, poly_mod(a, b)
+    return poly_monic(a)
+
+
+def poly_pow_mod(base: Poly, e: int, mod: Poly) -> Poly:
+    """base^e modulo the polynomial ``mod`` (square-and-multiply)."""
+    result: Poly = [ONE]
+    base = poly_mod(base, mod)
+    while e:
+        if e & 1:
+            result = poly_mod(poly_mul(result, base), mod)
+        base = poly_mod(poly_mul(base, base), mod)
+        e >>= 1
+    return result
+
+
+def poly_eval(f: Poly, x: Fp2Raw) -> Fp2Raw:
+    """Evaluate f at x (Horner)."""
+    acc = ZERO
+    for c in reversed(f):
+        acc = fp2_add(fp2_mul(acc, x), c)
+    return acc
+
+
+def poly_derivative(f: Poly) -> Poly:
+    """Formal derivative."""
+    out = []
+    for i in range(1, len(f)):
+        k = i % P127
+        out.append(fp2_mul(f[i], (k, 0)))
+    return poly_trim(out)
+
+
+def poly_from_roots(roots: List[Fp2Raw]) -> Poly:
+    """The monic polynomial with the given roots (with multiplicity)."""
+    f: Poly = [ONE]
+    for r in roots:
+        f = poly_mul(f, [fp2_neg(r), ONE])
+    return f
+
+
+def poly_roots(f: Poly, rng: Optional[random.Random] = None, max_tries: int = 64) -> List[Fp2Raw]:
+    """All roots of f lying in F_{p^2} (each listed once).
+
+    Strategy (standard over finite fields):
+
+    1. Make f squarefree (divide by gcd(f, f')).
+    2. Restrict to roots in the field:  g = gcd(f, x^q - x)  where
+       q = p^2, computed via modular exponentiation of x.
+    3. Split g recursively with random maps:
+       gcd(g, (x + c)^((q-1)/2) - 1) separates roots whose shifted value
+       is a square from the rest; random shifts c split with prob ~1/2.
+
+    Degrees encountered in this library are <= 12 (the 5-division
+    polynomial), so this terminates essentially instantly.
+    """
+    rng = rng or random.Random(0x40)
+    f = poly_monic(poly_trim(list(f)))
+    if poly_deg(f) <= 0:
+        return []
+    # 1. squarefree part
+    d = poly_derivative(f)
+    if d:
+        g = poly_gcd(f, d)
+        if poly_deg(g) > 0:
+            f = poly_divmod(f, g)[0]
+    # 2. keep only linear factors over F_{q}
+    x_poly: Poly = [ZERO, ONE]
+    xq = poly_pow_mod(x_poly, Q_ORDER, f)
+    g = poly_gcd(poly_sub(xq, x_poly), f)
+    roots: List[Fp2Raw] = []
+
+    def split(h: Poly, depth: int = 0) -> None:
+        h = poly_monic(h)
+        deg = poly_deg(h)
+        if deg == 0:
+            return
+        if deg == 1:
+            roots.append(fp2_neg(h[0]))
+            return
+        if deg == 2:
+            # Solve directly with the quadratic formula.
+            from ..field.fp2 import fp2_sqr, fp2_sqrt
+            b, a = h[0], h[1]  # x^2 + a x + b
+            disc = fp2_sub(fp2_sqr(a), fp2_mul((4, 0), b))
+            s = fp2_sqrt(disc)
+            if s is None:
+                return
+            inv2 = fp2_inv((2, 0))
+            r1 = fp2_mul(fp2_sub(s, a), inv2)
+            r2 = fp2_mul(fp2_sub(fp2_neg(a), s), inv2)
+            roots.append(r1)
+            if r2 != r1:
+                roots.append(r2)
+            return
+        for _ in range(max_tries):
+            c = (rng.randrange(P127), rng.randrange(P127))
+            probe = poly_pow_mod([c, ONE], (Q_ORDER - 1) // 2, h)
+            probe = poly_sub(probe, [ONE])
+            w = poly_gcd(probe, h)
+            if 0 < poly_deg(w) < deg:
+                split(w, depth + 1)
+                split(poly_divmod(h, w)[0], depth + 1)
+                return
+        raise RuntimeError("equal-degree splitting failed to converge")
+
+    if poly_deg(g) > 0:
+        split(g)
+    return roots
+
+
+def poly_quadratic_part(f: Poly) -> Poly:
+    """Product of the irreducible factors of f of degree dividing 2.
+
+    Computed as ``gcd(x^(q^2) - x, f)`` with q = p^2 — the polynomial
+    whose roots are exactly the roots of f lying in F_{p^4}.
+    """
+    f = poly_monic(poly_trim(list(f)))
+    x_poly: Poly = [ZERO, ONE]
+    xq2 = poly_pow_mod(x_poly, Q_ORDER * Q_ORDER, f)
+    return poly_gcd(poly_sub(xq2, x_poly), f)
+
+
+def poly_split_quadratics(
+    f: Poly, rng: Optional[random.Random] = None, max_tries: int = 64
+) -> List[Poly]:
+    """Split a product of irreducible quadratics into its quadratic factors.
+
+    Cantor-Zassenhaus equal-degree factorization for degree-2 factors
+    over F_{p^2}: random probes raised to ``(q^2 - 1) / 2`` separate the
+    factors with probability about 1/2 each round.  Linear factors must
+    be removed beforehand (use :func:`poly_roots`).
+    """
+    rng = rng or random.Random(0x52)
+    f = poly_monic(poly_trim(list(f)))
+    deg = poly_deg(f)
+    if deg <= 0:
+        return []
+    if deg == 2:
+        return [f]
+    if deg % 2 != 0:
+        raise ValueError("input is not a product of quadratics")
+    for _ in range(max_tries):
+        r: Poly = poly_trim(
+            [(rng.randrange(P127), rng.randrange(P127)) for _ in range(deg)]
+        )
+        w = poly_pow_mod(r, (Q_ORDER * Q_ORDER - 1) // 2, f)
+        w = poly_sub(w, [ONE])
+        g = poly_gcd(w, f)
+        if 0 < poly_deg(g) < deg:
+            return poly_split_quadratics(g, rng, max_tries) + poly_split_quadratics(
+                poly_divmod(f, g)[0], rng, max_tries
+            )
+    raise RuntimeError("quadratic equal-degree splitting did not converge")

@@ -1,0 +1,24 @@
+"""Cycle-accurate RTL-level models of the cryptoprocessor datapath."""
+
+from .addsub import AddSubStats, AddSubUnit, fp2_addsub_compute
+from .datapath import DatapathSimulator, SimulationError, SimulationResult
+from .multiplier import (
+    MultiplierStats,
+    PipelinedMultiplier,
+    karatsuba_fp2_multiply,
+)
+from .regfile import PortViolation, RegisterFile
+
+__all__ = [
+    "AddSubStats",
+    "AddSubUnit",
+    "DatapathSimulator",
+    "MultiplierStats",
+    "PipelinedMultiplier",
+    "PortViolation",
+    "RegisterFile",
+    "SimulationError",
+    "SimulationResult",
+    "fp2_addsub_compute",
+    "karatsuba_fp2_multiply",
+]

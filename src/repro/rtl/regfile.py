@@ -1,0 +1,66 @@
+"""Register file model: 4 read / 2 write ports, port-usage checked.
+
+The paper's register file "is equipped with four-read and two-write
+ports so as to minimize the memory access overhead" (Section III-A).
+The model enforces the port budget every cycle and the
+read-before-write ordering the allocator assumes (reads see the value
+from the start of the cycle; writes land at the end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..field.fp2 import Fp2Raw
+
+
+class PortViolation(RuntimeError):
+    """A cycle exceeded the register file's port budget."""
+
+
+@dataclass
+class RegisterFile:
+    size: int
+    read_ports: int = 4
+    write_ports: int = 2
+
+    def __post_init__(self) -> None:
+        self._data: List[Optional[Fp2Raw]] = [None] * self.size
+        self._reads_this_cycle = 0
+        self._pending_writes: List[Tuple[int, Fp2Raw]] = []
+        self.max_reads_seen = 0
+        self.max_writes_seen = 0
+
+    def preload(self, values: Dict[int, Fp2Raw]) -> None:
+        for reg, val in values.items():
+            self._data[reg] = val
+
+    def begin_cycle(self) -> None:
+        self._reads_this_cycle = 0
+        self._pending_writes = []
+
+    def read(self, reg: int) -> Fp2Raw:
+        self._reads_this_cycle += 1
+        if self._reads_this_cycle > self.read_ports:
+            raise PortViolation(f"more than {self.read_ports} reads in a cycle")
+        self.max_reads_seen = max(self.max_reads_seen, self._reads_this_cycle)
+        val = self._data[reg]
+        if val is None:
+            raise RuntimeError(f"read of uninitialized register r{reg}")
+        return val
+
+    def write(self, reg: int, value: Fp2Raw) -> None:
+        self._pending_writes.append((reg, value))
+        if len(self._pending_writes) > self.write_ports:
+            raise PortViolation(f"more than {self.write_ports} writes in a cycle")
+        self.max_writes_seen = max(self.max_writes_seen, len(self._pending_writes))
+
+    def end_cycle(self) -> None:
+        for reg, value in self._pending_writes:
+            self._data[reg] = value
+        self._pending_writes = []
+
+    def peek(self, reg: int) -> Optional[Fp2Raw]:
+        """Debug/verification access without port accounting."""
+        return self._data[reg]

@@ -1,0 +1,191 @@
+"""Job-shop formulation of the instruction-scheduling problem.
+
+The paper (Section III-C) casts microinstruction scheduling as a
+job-shop problem: tasks = F_{p^2} micro-ops, machines = the two
+functional units (pipelined multiplier, adder/subtractor), precedences
+= data dependencies, objective = makespan.  This module defines the
+problem model shared by all schedulers, including the datapath resource
+constraints beyond the plain job-shop:
+
+* the multiplier is **pipelined**: one issue per cycle (initiation
+  interval 1) but results appear ``mult_latency`` cycles later;
+* the adder/subtractor likewise with ``addsub_latency``;
+* the register file has 4 read and 2 write ports per cycle (Fig. 1);
+* forwarding paths let an operand produced in cycle ``t`` be consumed
+  by an op issued in cycle ``t`` without using a read port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trace.ops import MicroOp, OpKind, Unit
+from ..trace.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Datapath timing and port model.
+
+    Default latencies: the pipelined Karatsuba multiplier needs three
+    cycles from issue to writeback (partial products, accumulation,
+    lazy-reduction fold — Fig. 1(b)); the adder/subtractor completes in
+    one.  With these defaults the optimally scheduled double-and-add
+    kernel occupies 24 issue cycles + 1 writeback row, matching the
+    25-cycle schedule of the paper's Table I.
+    """
+
+    mult_latency: int = 3
+    addsub_latency: int = 1
+    read_ports: int = 4
+    write_ports: int = 2
+    forwarding: bool = True
+
+    def latency(self, unit: Unit) -> int:
+        if unit is Unit.MULTIPLIER:
+            return self.mult_latency
+        if unit is Unit.ADDSUB:
+            return self.addsub_latency
+        return 0
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable micro-op.
+
+    ``deps`` are indices (into the problem's task list) of the tasks
+    whose results must be *available* before this op can issue — for an
+    operand routed through a constant-time mux (SELECT) this includes
+    every mux alternative, because the mux output only settles when all
+    inputs have.  ``reads`` are the task indices actually fetched
+    through register-file read ports (one per operand: the selected mux
+    input); ``external_reads`` counts operand slots fed by constants or
+    preloaded inputs (they also occupy read ports).  Operands from
+    constants or inputs impose no precedence.
+    """
+
+    index: int
+    uid: int          # original trace uid
+    unit: Unit
+    deps: Tuple[int, ...]
+    kind: OpKind
+    reads: Tuple[int, ...] = ()
+    external_reads: int = 0
+    name: str = ""
+
+
+@dataclass
+class JobShopProblem:
+    """An instruction-scheduling instance."""
+
+    tasks: List[Task]
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    # uid -> task index, for traceability back to the original program
+    uid_to_index: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.tasks)
+
+    def unit_load(self, unit: Unit) -> int:
+        """Number of tasks on one machine — a trivial makespan bound."""
+        return sum(1 for t in self.tasks if t.unit is unit)
+
+    def successors(self) -> List[List[int]]:
+        out: List[List[int]] = [[] for _ in self.tasks]
+        for t in self.tasks:
+            for d in t.deps:
+                out[d].append(t.index)
+        return out
+
+    def critical_path_bound(self) -> int:
+        """Longest dependency chain in cycles (a makespan lower bound)."""
+        lat = self.machine.latency
+        longest = [0] * len(self.tasks)
+        for t in self.tasks:  # tasks are in topological (trace) order
+            start = 0
+            for d in t.deps:
+                start = max(start, longest[d])
+            longest[t.index] = start + lat(t.unit)
+        return max(longest, default=0)
+
+    def lower_bound(self) -> int:
+        """max(critical path, per-unit load + drain latency)."""
+        lb = self.critical_path_bound()
+        for unit in (Unit.MULTIPLIER, Unit.ADDSUB):
+            load = self.unit_load(unit)
+            if load:
+                lb = max(lb, load - 1 + self.machine.latency(unit))
+        return lb
+
+
+def resolve_select_chosen(by_uid: Dict[int, MicroOp], uid: int) -> int:
+    """Follow SELECT ops to the concrete uid whose value is passed through."""
+    op = by_uid[uid]
+    while op.kind is OpKind.SELECT:
+        op = by_uid[op.srcs[0]]
+    return op.uid
+
+
+def resolve_select_all(by_uid: Dict[int, MicroOp], uid: int) -> Tuple[int, ...]:
+    """All concrete uids an operand may come from (mux alternatives)."""
+    op = by_uid[uid]
+    if op.kind is not OpKind.SELECT:
+        return (uid,)
+    out: List[int] = []
+    for s in op.srcs:
+        out.extend(resolve_select_all(by_uid, s))
+    return tuple(dict.fromkeys(out))
+
+
+def problem_from_trace(
+    trace: Sequence[MicroOp],
+    machine: Optional[MachineSpec] = None,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> JobShopProblem:
+    """Build a scheduling problem from (a slice of) a recorded trace.
+
+    Only arithmetic ops become tasks.  A dependency on a value defined
+    outside the slice (an earlier section's result, a constant, an
+    input) is treated as already available — matching how the hardware
+    schedules a block whose live-ins sit in the register file.  SELECT
+    pseudo-ops contribute timing dependencies on every alternative but
+    only one register read (the mux is wiring, not a unit).
+    """
+    machine = machine or MachineSpec()
+    end = len(trace) if end is None else end
+    by_uid = {op.uid: op for op in trace}
+    tasks: List[Task] = []
+    uid_to_index: Dict[int, int] = {}
+    for op in trace[start:end]:
+        if not op.is_arithmetic:
+            continue
+        dep_set = set()
+        reads: List[int] = []
+        external = 0
+        for s in op.srcs:
+            for alt in resolve_select_all(by_uid, s):
+                if alt in uid_to_index:
+                    dep_set.add(uid_to_index[alt])
+            chosen = resolve_select_chosen(by_uid, s)
+            if chosen in uid_to_index:
+                reads.append(uid_to_index[chosen])
+            else:
+                external += 1
+        idx = len(tasks)
+        tasks.append(
+            Task(
+                index=idx,
+                uid=op.uid,
+                unit=op.unit,
+                deps=tuple(sorted(dep_set)),
+                kind=op.kind,
+                reads=tuple(reads),
+                external_reads=external,
+                name=op.name,
+            )
+        )
+        uid_to_index[op.uid] = idx
+    return JobShopProblem(tasks=tasks, machine=machine, uid_to_index=uid_to_index)

@@ -1,0 +1,167 @@
+"""Greedy schedulers: sequential baseline, list scheduling, block-limited.
+
+The list scheduler is the workhorse for full-program schedules
+(thousands of ops); the CP solver (:mod:`repro.sched.cp_scheduler`)
+refines kernel-sized blocks to proven optimality.  The sequential and
+block-limited variants reproduce the baselines the paper argues
+against: no instruction-level parallelism at all, and hand-scheduling
+"divided into multiple small blocks ... which results in the local
+optima due to the reduced scheduling flexibility" (Section III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trace.ops import OpKind, Unit
+from .jobshop import JobShopProblem, MachineSpec, Task
+from .schedule import Schedule
+
+
+def sequential_schedule(problem: JobShopProblem) -> Schedule:
+    """Issue ops strictly in order, each waiting for the previous result.
+
+    Models a microcoded engine with no overlap: the cost every
+    conventional accelerator pays without instruction scheduling.
+    Without forwarding, a consumer additionally waits one cycle for the
+    register-file write of its operand.
+    """
+    lat = problem.machine.latency
+    bypass = 0 if problem.machine.forwarding else 1
+    start: List[int] = []
+    clock = 0
+    for t in problem.tasks:
+        issue = clock
+        for d in t.deps:
+            issue = max(issue, start[d] + lat(problem.tasks[d].unit) + bypass)
+        start.append(issue)
+        clock = issue + lat(t.unit)
+    return Schedule(problem=problem, start=start, method="sequential")
+
+
+def _critical_path_priority(problem: JobShopProblem) -> List[int]:
+    """Priority = longest latency path from the task to any sink."""
+    lat = problem.machine.latency
+    succs = problem.successors()
+    height = [0] * problem.size
+    for t in reversed(problem.tasks):
+        h = 0
+        for s in succs[t.index]:
+            h = max(h, height[s])
+        height[t.index] = h + lat(t.unit)
+    return height
+
+
+def list_schedule(
+    problem: JobShopProblem,
+    priority: Optional[Sequence[int]] = None,
+    method: str = "list",
+) -> Schedule:
+    """Cycle-driven list scheduling with port and forwarding awareness.
+
+    Each cycle, ready tasks are considered in descending priority
+    (default: critical-path height); a task is issued if its unit is
+    free, read ports remain for its non-forwarded operands, and a write
+    port is free at its completion cycle.
+    """
+    mach = problem.machine
+    lat = mach.latency
+    prio = list(priority) if priority is not None else _critical_path_priority(problem)
+
+    n = problem.size
+    start = [-1] * n
+    unscheduled = n
+    indegree = [len(t.deps) for t in problem.tasks]
+    succs = problem.successors()
+    # earliest issue cycle (data-ready) per task, updated as deps finish
+    data_ready = [0] * n
+    ready: List[int] = [t.index for t in problem.tasks if indegree[t.index] == 0]
+
+    reads_used: Dict[int, int] = {}
+    writes_used: Dict[int, int] = {}
+    cycle = 0
+    max_stall = 4 * (n + 8) * (mach.mult_latency + mach.addsub_latency)
+    while unscheduled:
+        if cycle > max_stall:  # pragma: no cover - defensive
+            raise RuntimeError("list scheduler failed to make progress")
+        free = {Unit.MULTIPLIER: True, Unit.ADDSUB: True}
+        # consider ready tasks by priority
+        for idx in sorted(
+            (i for i in ready if data_ready[i] <= cycle),
+            key=lambda i: (-prio[i], i),
+        ):
+            t = problem.tasks[idx]
+            if not free[t.unit]:
+                continue
+            # port checks (reads = mux-selected operands only)
+            n_reads = t.external_reads
+            for r in t.reads:
+                avail = start[r] + lat(problem.tasks[r].unit)
+                forwarded = mach.forwarding and cycle == avail
+                if not forwarded:
+                    n_reads += 1
+            if reads_used.get(cycle, 0) + n_reads > mach.read_ports:
+                continue
+            wb = cycle + lat(t.unit)
+            if writes_used.get(wb, 0) + 1 > mach.write_ports:
+                continue
+            # issue
+            start[idx] = cycle
+            free[t.unit] = False
+            reads_used[cycle] = reads_used.get(cycle, 0) + n_reads
+            writes_used[wb] = writes_used.get(wb, 0) + 1
+            ready.remove(idx)
+            unscheduled -= 1
+            for s in succs[idx]:
+                indegree[s] -= 1
+                avail = wb if mach.forwarding else wb + 1
+                data_ready[s] = max(data_ready[s], avail)
+                if indegree[s] == 0:
+                    ready.append(s)
+        cycle += 1
+    return Schedule(problem=problem, start=start, method=method)
+
+
+def block_limited_schedule(
+    problem: JobShopProblem, block_size: int = 16
+) -> Schedule:
+    """Schedule in small consecutive blocks with full drain in between.
+
+    Mimics manual scheduling where "the entire sequence of thousands of
+    microinstructions [is] divided into multiple small blocks having
+    only tens of microinstructions" (paper Section III-C).  Blocks are
+    scheduled independently; block i+1 starts only after every result
+    of block i has been written back.
+    """
+    mach = problem.machine
+    start = [-1] * problem.size
+    offset = 0
+    for lo in range(0, problem.size, block_size):
+        hi = min(lo + block_size, problem.size)
+        sub_tasks = []
+        for t in problem.tasks[lo:hi]:
+            deps = tuple(d - lo for d in t.deps if d >= lo)
+            reads = tuple(r - lo for r in t.reads if r >= lo)
+            external = t.external_reads + sum(1 for r in t.reads if r < lo)
+            sub_tasks.append(
+                Task(
+                    index=t.index - lo,
+                    uid=t.uid,
+                    unit=t.unit,
+                    deps=deps,
+                    kind=t.kind,
+                    reads=reads,
+                    external_reads=external,
+                    name=t.name,
+                )
+            )
+        sub = JobShopProblem(tasks=sub_tasks, machine=mach)
+        sched = list_schedule(sub, method="block")
+        for i, s in enumerate(sched.start):
+            start[lo + i] = offset + s
+        # Full drain before the next block; without forwarding the next
+        # block must also wait for the last register-file write.
+        offset += sched.makespan + (0 if mach.forwarding else 1)
+    return Schedule(
+        problem=problem, start=start, method=f"block{block_size}"
+    )

@@ -1,0 +1,169 @@
+"""Schedule representation, validation, and Table-I-style rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trace.ops import OpKind, Unit
+from .jobshop import JobShopProblem, Task
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a datapath constraint."""
+
+
+@dataclass
+class Schedule:
+    """An assignment of issue cycles to tasks.
+
+    ``start[i]`` is the issue cycle of task i.  The makespan is the
+    cycle in which the last result becomes available (issue + latency
+    of the last finishing task).
+    """
+
+    problem: JobShopProblem
+    start: List[int]
+    method: str = "unknown"
+
+    @property
+    def makespan(self) -> int:
+        lat = self.problem.machine.latency
+        return max(
+            (s + lat(t.unit) for s, t in zip(self.start, self.problem.tasks)),
+            default=0,
+        )
+
+    # -- validation ----------------------------------------------------
+    def validate(self) -> None:
+        """Check every datapath constraint; raise ScheduleError on violation.
+
+        1. Precedence with latency: a consumer issues no earlier than
+           the cycle its operand becomes available (producer issue +
+           producer latency), possibly the same cycle via forwarding.
+        2. Unit occupancy: at most one issue per unit per cycle
+           (pipelined, II = 1).
+        3. Register-file ports: per cycle at most ``read_ports`` source
+           operands fetched from the RF (forwarded operands are free)
+           and at most ``write_ports`` results written back.
+        """
+        prob = self.problem
+        mach = prob.machine
+        lat = mach.latency
+        if len(self.start) != prob.size:
+            raise ScheduleError("schedule length mismatch")
+        if any(s < 0 for s in self.start):
+            raise ScheduleError("negative issue cycle")
+
+        # 1. precedences: the producer's result leaves its unit at cycle
+        # (issue + latency).  With forwarding a consumer may issue in
+        # exactly that cycle (bypass network); without forwarding it
+        # must wait one more cycle for the register-file write.
+        for t in prob.tasks:
+            for d in t.deps:
+                ready = self.start[d] + lat(prob.tasks[d].unit)
+                min_issue = ready if mach.forwarding else ready + 1
+                if self.start[t.index] < min_issue:
+                    raise ScheduleError(
+                        f"task {t.index} issued at {self.start[t.index]} before "
+                        f"operand {d} available at {min_issue}"
+                    )
+
+        # 2. unit occupancy
+        busy: Dict[Tuple[Unit, int], int] = {}
+        for t in prob.tasks:
+            key = (t.unit, self.start[t.index])
+            busy[key] = busy.get(key, 0) + 1
+            if busy[key] > 1:
+                raise ScheduleError(
+                    f"unit {t.unit.value} double-issued in cycle {self.start[t.index]}"
+                )
+
+        # 3. register-file ports: reads follow the mux-selected operand
+        # (t.reads), not the timing dependencies.
+        reads: Dict[int, int] = {}
+        writes: Dict[int, int] = {}
+        for t in prob.tasks:
+            cyc = self.start[t.index]
+            n_reads = t.external_reads
+            for r in t.reads:
+                ready = self.start[r] + lat(prob.tasks[r].unit)
+                if not (mach.forwarding and cyc == ready):
+                    n_reads += 1
+            if n_reads:
+                reads[cyc] = reads.get(cyc, 0) + n_reads
+            wb = cyc + lat(t.unit)
+            writes[wb] = writes.get(wb, 0) + 1
+        for cyc, n in reads.items():
+            if n > mach.read_ports:
+                raise ScheduleError(f"{n} register reads in cycle {cyc}")
+        for cyc, n in writes.items():
+            if n > mach.write_ports:
+                raise ScheduleError(f"{n} register writes in cycle {cyc}")
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except ScheduleError:
+            return False
+        return True
+
+    # -- reporting -------------------------------------------------------
+    def utilization(self, unit: Unit) -> float:
+        """Issued-cycles / makespan for one unit."""
+        n = self.problem.unit_load(unit)
+        return n / self.makespan if self.makespan else 0.0
+
+    def render_table(self, max_cycles: Optional[int] = None) -> str:
+        """Render the per-cycle issue table in the style of paper Table I."""
+        prob = self.problem
+        lat = prob.machine.latency
+        by_cycle: Dict[int, Dict[str, str]] = {}
+        for t in prob.tasks:
+            cyc = self.start[t.index]
+            cell = by_cycle.setdefault(cyc, {})
+            label = t.name or f"v{t.uid}"
+            srcs = ",".join(f"v{prob.tasks[d].uid}" for d in t.deps)
+            if t.unit is Unit.MULTIPLIER:
+                cell["mult"] = f"{t.kind.value}({srcs})->v{t.uid}"
+            else:
+                cell["addsub"] = f"{t.kind.value}({srcs})->v{t.uid}"
+            wb = cyc + lat(t.unit)
+            wb_cell = by_cycle.setdefault(wb, {})
+            wb_cell.setdefault("writeback", "")
+            sep = " " if not wb_cell["writeback"] else "; "
+            wb_cell["writeback"] += f"{sep}v{t.uid}".strip()
+
+        lines = [
+            f"{'Cycle':>5} | {'Fp2 Mult':<34} | {'Fp2 Add/Sub':<30} | Write back",
+            "-" * 100,
+        ]
+        last = self.makespan
+        if max_cycles is not None:
+            last = min(last, max_cycles)
+        for cyc in range(last + 1):
+            cell = by_cycle.get(cyc, {})
+            lines.append(
+                f"{cyc:>5} | {cell.get('mult', ''):<34} | "
+                f"{cell.get('addsub', ''):<30} | {cell.get('writeback', '')}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        prob = self.problem
+        return (
+            f"{self.method}: makespan={self.makespan} cycles, "
+            f"{prob.size} ops (lower bound {prob.lower_bound()}), "
+            f"mult util {self.utilization(Unit.MULTIPLIER):.0%}, "
+            f"addsub util {self.utilization(Unit.ADDSUB):.0%}"
+        )
+
+
+def _external_operands(t: Task) -> int:
+    """Operand slots fed from constants/inputs (still cost read ports).
+
+    The number of source slots is derived from the op kind (unary vs
+    binary); slots not covered by task deps are external reads.
+    """
+    arity = 1 if t.kind in (OpKind.SQR, OpKind.NEG, OpKind.CONJ) else 2
+    return max(0, arity - len(t.deps))

@@ -1,0 +1,99 @@
+"""Micro-operation definitions for the recorded execution traces.
+
+A micro-op is one atomic F_{p^2} operation issued to one of the two
+functional units of the paper's datapath (Fig. 1):
+
+* the pipelined Karatsuba multiplier — ``MUL`` and ``SQR``
+  (a squaring occupies the same issue slot as a multiplication);
+* the adder/subtractor — ``ADD``, ``SUB``, ``NEG``, ``CONJ``
+  (negation is ``0 - a``; conjugation negates the imaginary half).
+
+``CONST`` and ``INPUT`` ops produce values without using a functional
+unit: constants come from the program ROM / hardwired logic, inputs are
+preloaded into the register file before the computation starts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..field.fp2 import Fp2Raw
+
+
+class OpKind(enum.Enum):
+    """The atomic operation kinds of the F_{p^2} datapath."""
+
+    MUL = "mul"
+    SQR = "sqr"
+    ADD = "add"
+    SUB = "sub"
+    NEG = "neg"
+    CONJ = "conj"
+    CONST = "const"
+    INPUT = "input"
+    #: A mux: passes one of its sources through.  Costs no functional
+    #: unit, but consumers depend on *all* alternatives — the wiring a
+    #: constant-time datapath has (the mux output settles only after
+    #: every input has).  ``srcs[0]`` is the selected source.
+    SELECT = "select"
+
+
+class Unit(enum.Enum):
+    """Functional units of the datapath."""
+
+    MULTIPLIER = "mult"
+    ADDSUB = "addsub"
+    NONE = "none"
+
+
+#: Which unit executes each op kind.
+UNIT_OF: dict = {
+    OpKind.MUL: Unit.MULTIPLIER,
+    OpKind.SQR: Unit.MULTIPLIER,
+    OpKind.ADD: Unit.ADDSUB,
+    OpKind.SUB: Unit.ADDSUB,
+    OpKind.NEG: Unit.ADDSUB,
+    OpKind.CONJ: Unit.ADDSUB,
+    OpKind.CONST: Unit.NONE,
+    OpKind.INPUT: Unit.NONE,
+    OpKind.SELECT: Unit.NONE,
+}
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One recorded micro-operation.
+
+    Attributes:
+        uid: position in the trace (also the SSA value id it defines).
+        kind: the operation.
+        srcs: uids of the source values (0, 1 or 2 of them).
+        value: the concrete F_{p^2} value computed during recording —
+            kept so the trace doubles as a golden reference for the
+            cycle-accurate simulation.
+        name: optional human-readable label (register name, constant
+            name, section tag).
+    """
+
+    uid: int
+    kind: OpKind
+    srcs: Tuple[int, ...]
+    value: Fp2Raw
+    name: str = ""
+
+    @property
+    def unit(self) -> Unit:
+        """The functional unit this op occupies."""
+        return UNIT_OF[self.kind]
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """True for ops that occupy a functional unit."""
+        return self.unit is not Unit.NONE
+
+    def __repr__(self) -> str:  # compact for debugging dumps
+        srcs = ",".join(f"v{s}" for s in self.srcs)
+        label = f" '{self.name}'" if self.name else ""
+        return f"v{self.uid} = {self.kind.value}({srcs}){label}"

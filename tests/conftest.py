@@ -1,0 +1,39 @@
+"""Shared fixtures: cached endomorphisms, decomposer, RNG, hypothesis config."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Field elements are 127-bit; generating them via integers is cheap, but
+# some composite strategies get flagged by the default too_slow check on
+# loaded CI machines.  Register a calmer profile.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=25,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def endo():
+    """The derived-and-verified endomorphism pair (cached per session)."""
+    from repro.curve.derive import derive_endomorphisms
+
+    return derive_endomorphisms()
+
+
+@pytest.fixture(scope="session")
+def decomposer(endo):
+    """A decomposer matched to the derived eigenvalues."""
+    from repro.curve.decompose import FourQDecomposer
+
+    return FourQDecomposer(lambda_phi=endo.lambda_phi, lambda_psi=endo.lambda_psi)
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic RNG per test."""
+    return random.Random(0xDA7E2019)

@@ -1,0 +1,134 @@
+"""Tests for the analysis helpers, power breakdown, and the CLI."""
+
+import pytest
+
+from repro.analysis import (
+    CurveOpBudget,
+    OpMix,
+    curve25519_budget,
+    p256_budget,
+    profile_program,
+    render_budgets,
+    render_profile,
+)
+
+
+class TestOpMix:
+    def test_shares(self):
+        mix = OpMix(mult_ops=57, addsub_ops=43)
+        assert mix.total == 100
+        assert mix.mult_share == pytest.approx(0.57)
+
+    def test_empty(self):
+        assert OpMix(0, 0).mult_share == 0.0
+
+
+class TestProfiling:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        from repro.trace import trace_scalar_mult
+
+        return trace_scalar_mult(k=99)
+
+    def test_profile_sections(self, prog):
+        profile = profile_program(prog)
+        assert {"endo", "table", "loop", "normalize", "total"} <= set(profile)
+        total = profile["total"]
+        assert sum(
+            profile[s].total for s in ("endo", "table", "loop", "normalize")
+        ) == total.total
+
+    def test_loop_dominates(self, prog):
+        profile = profile_program(prog)
+        assert profile["loop"].total > profile["total"].total / 2
+
+    def test_render(self, prog):
+        text = render_profile(profile_program(prog))
+        assert "total" in text and "mult%" in text
+
+
+class TestBudgets:
+    def test_p256_budget_measured(self):
+        b = p256_budget()
+        assert b.field_bits == 256
+        # ~256 doublings (9 mult-like each) + ~128 mixed adds (11 each).
+        assert 3000 < b.mult_ops < 5500
+
+    def test_curve25519_budget(self):
+        b = curve25519_budget()
+        assert b.mult_ops == 255 * 9
+
+    def test_normalization(self):
+        b = CurveOpBudget(
+            curve="x", field_bits=127, mult_ops=100, addsub_ops=0, iterations=1
+        )
+        assert b.mult_ops_normalized == pytest.approx(100 * (127 / 254) ** 2)
+
+    def test_render(self):
+        text = render_budgets([p256_budget()])
+        assert "P-256" in text
+
+
+class TestPowerBreakdown:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        from repro.flow import run_flow
+        from repro.trace import trace_loop_iteration
+
+        return run_flow(trace_loop_iteration())
+
+    def test_breakdown_sums_to_total(self, flow):
+        from repro.asic import calibrate, power_breakdown
+
+        tech = calibrate(cycles=2069)
+        pb = power_breakdown(tech, flow.simulation, 1.20)
+        assert sum(pb.blocks.values()) + pb.leakage_j == pytest.approx(pb.total_j)
+        assert pb.total_j == pytest.approx(tech.energy(1.20), rel=1e-9)
+
+    def test_multiplier_dominates_dynamic(self, flow):
+        from repro.asic import calibrate, power_breakdown
+
+        tech = calibrate(cycles=2069)
+        pb = power_breakdown(tech, flow.simulation, 1.20)
+        assert pb.blocks["fp2_multiplier"] == max(pb.blocks.values())
+
+    def test_leakage_grows_at_low_voltage(self, flow):
+        from repro.asic import calibrate, power_breakdown
+
+        tech = calibrate(cycles=2069)
+        hi = power_breakdown(tech, flow.simulation, 1.20)
+        lo = power_breakdown(tech, flow.simulation, 0.33)
+        assert lo.leakage_j / lo.total_j > hi.leakage_j / hi.total_j
+
+    def test_render(self, flow):
+        from repro.asic import calibrate, power_breakdown
+
+        tech = calibrate(cycles=2069)
+        text = power_breakdown(tech, flow.simulation, 0.5).render()
+        assert "leakage" in text
+
+
+class TestCLI:
+    def test_verify_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "psi^2 = [8]" in out
+
+    def test_table1_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["table1"]) == 0
+        assert "Fp2 Mult" in capsys.readouterr().out
+
+    def test_keygen_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["keygen"]) == 0
+        assert "public" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        from repro.__main__ import main
+
+        assert main(["frobnicate"]) == 2

@@ -1,0 +1,158 @@
+"""Tests for the ASIC technology, area, and comparison models."""
+
+import math
+
+import pytest
+
+from repro.asic import (
+    PAPER_ANCHORS,
+    PAPER_AREA_KGE,
+    PRIOR_ART,
+    calibrate,
+    estimate_area,
+    headline_factors,
+    our_entries,
+    render_table,
+)
+
+CYCLES = 2031  # representative scheduled cycle count
+
+
+class TestTechnologyCalibration:
+    @pytest.fixture(scope="class")
+    def tech(self):
+        return calibrate(cycles=CYCLES)
+
+    def test_anchors_reproduced(self, tech):
+        for v, lat, energy in PAPER_ANCHORS:
+            assert tech.latency(v) == pytest.approx(lat, rel=1e-6)
+            assert tech.energy(v) == pytest.approx(energy, rel=1e-6)
+
+    def test_vth_physical(self, tech):
+        assert 0.1 < tech.vth < 0.32
+
+    def test_fmax_monotone(self, tech):
+        vs = [0.32 + i * 0.02 for i in range(45)]
+        fs = [tech.fmax(v) for v in vs]
+        assert all(b > a for a, b in zip(fs, fs[1:]))
+
+    def test_fmax_zero_below_threshold(self, tech):
+        assert tech.fmax(tech.vth - 0.01) == 0.0
+        assert math.isinf(tech.latency(tech.vth - 0.01))
+
+    def test_minimum_energy_point_matches_paper(self, tech):
+        """Paper: minimum-energy operation at 0.32 V with 0.327 uJ."""
+        v, e = tech.minimum_energy_point()
+        assert 0.30 <= v <= 0.36
+        assert 0.30e-6 <= e <= 0.34e-6
+
+    def test_energy_shape(self, tech):
+        """Energy rises on both sides of the minimum (Fig. 4)."""
+        v_min, e_min = tech.minimum_energy_point()
+        assert tech.energy(v_min + 0.2) > e_min
+        assert tech.energy(max(tech.vth + 0.005, v_min - 0.015)) > e_min
+
+    def test_voltage_sweep_rows(self, tech):
+        rows = tech.voltage_sweep(steps=10)
+        assert len(rows) == 11
+        v, f, lat, e = rows[-1]
+        assert f > 0 and lat > 0 and e > 0
+
+    def test_calibrate_rejects_inconsistent_anchors(self):
+        with pytest.raises(ValueError):
+            # Lower voltage cannot be faster than higher voltage.
+            calibrate(
+                cycles=2000,
+                anchors=((1.20, 1e-3, 1e-6), (0.32, 1e-6, 1e-7)),
+            )
+
+    def test_different_cycles_scale_fmax(self):
+        t1 = calibrate(cycles=2000)
+        t2 = calibrate(cycles=4000)
+        # Same measured latency anchors => doubled cycles need ~2x fmax.
+        assert t2.fmax(1.2) == pytest.approx(2 * t1.fmax(1.2), rel=1e-6)
+
+
+class TestArea:
+    def test_total_order_of_magnitude(self):
+        rep = estimate_area()
+        assert 700 <= rep.total_kge <= 2000
+        # Within ~40% of the fabricated 1400 kGE.
+        assert abs(rep.total_kge - PAPER_AREA_KGE) / PAPER_AREA_KGE < 0.45
+
+    def test_multiplier_dominates_datapath(self):
+        rep = estimate_area()
+        assert rep.blocks["fp2_multiplier"] > rep.blocks["fp2_addsub"]
+        assert rep.share("fp2_multiplier") > 0.3
+
+    def test_render(self):
+        text = estimate_area().render()
+        assert "TOTAL" in text
+
+    def test_register_scaling(self):
+        small = estimate_area(registers=16).total
+        big = estimate_area(registers=128).total
+        assert big > small
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def tech(self):
+        return calibrate(cycles=CYCLES)
+
+    def test_headline_factors_match_paper(self, tech):
+        hf = headline_factors(tech)
+        assert hf.speedup_vs_fourq_fpga == pytest.approx(15.5, rel=0.03)
+        assert hf.speedup_vs_p256_asic == pytest.approx(3.66, rel=0.03)
+        assert hf.energy_ratio_vs_ecdsa_asic == pytest.approx(5.14, rel=0.10)
+
+    def test_prior_art_rows_from_paper(self):
+        names = {e.name for e in PRIOR_ART}
+        assert "Jarvinen16" in names and "Knezevic16-a" in names
+        fourq_fpga = next(e for e in PRIOR_ART if e.name == "Jarvinen16")
+        assert fourq_fpga.latency_ms == 0.157
+        assert fourq_fpga.curve == "FourQ"
+
+    def test_throughput_derivation(self):
+        e = next(e for e in PRIOR_ART if e.name == "Knezevic16-a")
+        assert e.throughput_ops == pytest.approx(2.70e4, rel=0.01)
+
+    def test_latency_area_products(self):
+        e = next(e for e in PRIOR_ART if e.name == "Knezevic16-a")
+        assert e.latency_area_product == pytest.approx(38.1, rel=0.01)
+
+    def test_our_rows(self, tech):
+        rows = our_entries(tech, area_kge=1024)
+        assert len(rows) == 2
+        typical = next(r for r in rows if "typical" in r.name)
+        assert typical.latency_ms == pytest.approx(0.0101, rel=1e-3)
+        assert typical.throughput_ops == pytest.approx(9.9e4, rel=0.01)
+
+    def test_render_table(self, tech):
+        text = render_table(our_entries(tech, 1024) + PRIOR_ART)
+        assert "Ours (typical)" in text
+        assert "Jarvinen16" in text
+
+
+class TestFig4Rendering:
+    def test_render_fig4(self):
+        from repro.asic import render_fig4
+
+        tech = calibrate(cycles=CYCLES)
+        text = render_fig4(tech)
+        assert "Maximum operating frequency" in text
+        assert "Energy per scalar multiplication" in text
+        assert "O" in text  # anchor marks present
+        assert text.count("*") > 40
+
+    def test_chart_monotone_frequency_panel(self):
+        from repro.asic import render_fig4
+
+        tech = calibrate(cycles=CYCLES)
+        panel = render_fig4(tech).split("\n\n")[0]
+        # The top row of the frequency panel is reached only at the
+        # right edge (fmax grows with VDD).
+        rows = [l for l in panel.splitlines() if "|" in l]
+        top = rows[0].split("|", 1)[1]
+        assert "*" in top or "O" in top
+        assert top.rstrip()[-1] in "*O"

@@ -1,0 +1,76 @@
+"""Tests for the constant-time (scalar-independence) analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    check_scalar_independence,
+    check_schedule_independence,
+    trace_shape,
+)
+from repro.trace import OpKind, Tracer, trace_scalar_mult
+
+
+class TestTraceShape:
+    def test_shape_erases_values(self):
+        tr1, tr2 = Tracer(), Tracer()
+        for tr, v in ((tr1, (3, 0)), (tr2, (9, 9))):
+            a = tr.input(v, "a")
+            tr.mul(a, a)
+        from repro.trace.program import TraceProgram
+
+        s1 = trace_shape(TraceProgram(tracer=tr1, description=""))
+        s2 = trace_shape(TraceProgram(tracer=tr2, description=""))
+        assert s1 == s2
+
+    def test_shape_erases_select_choice(self):
+        from repro.trace.program import TraceProgram
+
+        shapes = []
+        for chosen_first in (True, False):
+            tr = Tracer()
+            a = tr.input((1, 0), "a")
+            b = tr.input((2, 0), "b")
+            sel = tr.select(a if chosen_first else b, a, b)
+            tr.mul(sel, sel)
+            shapes.append(trace_shape(TraceProgram(tracer=tr, description="")))
+        assert shapes[0] == shapes[1]
+
+    def test_shape_detects_structural_difference(self):
+        from repro.trace.program import TraceProgram
+
+        tr1, tr2 = Tracer(), Tracer()
+        a1 = tr1.input((1, 0), "a")
+        tr1.mul(a1, a1)
+        a2 = tr2.input((1, 0), "a")
+        tr2.add(a2, a2)
+        s1 = trace_shape(TraceProgram(tracer=tr1, description=""))
+        s2 = trace_shape(TraceProgram(tracer=tr2, description=""))
+        assert s1 != s2
+
+
+class TestScalarIndependence:
+    def test_traces_are_scalar_independent(self):
+        report = check_scalar_independence(n_scalars=3)
+        assert report.identical
+        assert report.scalars_tested == 3
+
+    def test_extreme_scalars_same_shape(self):
+        shapes = {
+            trace_shape(trace_scalar_mult(k=k))
+            for k in (1, 2**255, 2**256 - 1)
+        }
+        assert len(shapes) == 1
+
+    def test_schedules_are_scalar_independent(self):
+        report = check_schedule_independence(n_scalars=2)
+        assert report.identical
+
+    def test_report_bool(self):
+        from repro.analysis import ShapeReport
+
+        assert bool(ShapeReport(scalars_tested=2, identical=True))
+        assert not bool(
+            ShapeReport(scalars_tested=2, identical=False, first_divergence=5)
+        )

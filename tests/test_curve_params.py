@@ -1,0 +1,139 @@
+"""Tests for FourQ parameters and the reference point arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curve.params import (
+    COFACTOR,
+    CURVE_ORDER,
+    D,
+    FOURQ,
+    GENERATOR_X,
+    GENERATOR_Y,
+    PRIME_P,
+    SUBGROUP_ORDER_N,
+    is_on_curve,
+    verify_parameters,
+)
+from repro.curve.point import (
+    AffinePoint,
+    lift_x,
+    random_point,
+    random_subgroup_point,
+)
+
+scalars = st.integers(min_value=0, max_value=SUBGROUP_ORDER_N - 1)
+
+
+class TestParameters:
+    def test_paper_constants(self):
+        """d matches the decimal value printed in the paper, Section II-B."""
+        assert D[1] == 125317048443780598345676279555970305165
+        assert D[0] == 4205857648805777768770
+        assert PRIME_P == 2**127 - 1
+
+    def test_full_verification(self):
+        verify_parameters(samples=2)
+
+    def test_generator_on_curve(self):
+        assert is_on_curve(GENERATOR_X, GENERATOR_Y)
+
+    def test_subgroup_order_size(self):
+        assert SUBGROUP_ORDER_N.bit_length() == 246
+        assert CURVE_ORDER == COFACTOR * SUBGROUP_ORDER_N
+        assert COFACTOR == 392
+
+    def test_order_in_hasse_interval(self):
+        p2 = PRIME_P**2
+        assert (PRIME_P - 1) ** 2 <= CURVE_ORDER <= (PRIME_P + 1) ** 2
+        assert abs(p2 + 1 - CURVE_ORDER) <= 2 * p2  # trivially, but documents t
+
+    def test_security_bits(self):
+        assert FOURQ.security_bits == 123  # ~128-bit security class
+
+    def test_identity_not_on_random_check(self):
+        assert is_on_curve((0, 0), (1, 0))  # identity satisfies the equation
+
+
+class TestGroupLaw:
+    def test_identity_neutral(self):
+        g = AffinePoint.generator()
+        o = AffinePoint.identity()
+        assert g + o == g
+        assert o + g == g
+        assert o + o == o
+
+    def test_neg_and_sub(self):
+        g = AffinePoint.generator()
+        assert g - g == AffinePoint.identity()
+        assert -(-g) == g
+
+    def test_double_matches_add(self):
+        g = AffinePoint.generator()
+        assert g.double() == g + g
+
+    def test_commutativity(self, rng):
+        p = random_subgroup_point(rng)
+        q = random_subgroup_point(rng)
+        assert p + q == q + p
+
+    def test_associativity(self, rng):
+        p = random_subgroup_point(rng)
+        q = random_subgroup_point(rng)
+        r = random_subgroup_point(rng)
+        assert (p + q) + r == p + (q + r)
+
+    def test_addition_stays_on_curve(self, rng):
+        p = random_point(rng)
+        q = random_point(rng)
+        s = p + q
+        assert is_on_curve(s.x, s.y)
+
+    def test_off_curve_rejected(self):
+        with pytest.raises(ValueError):
+            AffinePoint((1, 1), (2, 2))
+
+    @given(scalars, scalars)
+    @settings(max_examples=10)
+    def test_scalar_mult_additive_in_scalar(self, a, b):
+        g = AffinePoint.generator()
+        assert a * g + b * g == ((a + b) % SUBGROUP_ORDER_N) * g
+
+    def test_scalar_mult_small_cases(self):
+        g = AffinePoint.generator()
+        assert 0 * g == AffinePoint.identity()
+        assert 1 * g == g
+        assert 2 * g == g + g
+        assert 3 * g == g + g + g
+        assert (-1) * g == -g
+
+    def test_order_annihilates_generator(self):
+        g = AffinePoint.generator()
+        assert (SUBGROUP_ORDER_N * g).is_identity()
+
+    def test_cofactor_clearing(self, rng):
+        p = random_point(rng).clear_cofactor()
+        assert (SUBGROUP_ORDER_N * p).is_identity()
+
+
+class TestLiftX:
+    def test_generator_x_lifts(self):
+        lifted = lift_x(GENERATOR_X)
+        assert lifted is not None
+        x, y = lifted
+        assert is_on_curve(x, y)
+        # The lift is the generator up to sign of y.
+        assert x == GENERATOR_X
+
+    def test_random_points_on_curve(self, rng):
+        for _ in range(3):
+            p = random_point(rng)
+            assert is_on_curve(p.x, p.y)
+
+    def test_subgroup_points_not_identity(self, rng):
+        p = random_subgroup_point(rng)
+        assert not p.is_identity()
+        assert (SUBGROUP_ORDER_N * p).is_identity()

@@ -1,0 +1,122 @@
+"""Tests for the runtime endomorphism derivation (the no-magic-constants path)."""
+
+import pytest
+
+from repro.curve.derive import PHI_SQUARE, PSI_SQUARE, derive_endomorphisms
+from repro.curve.params import SUBGROUP_ORDER_N, is_on_curve
+from repro.curve.point import AffinePoint, random_subgroup_point
+from repro.curve.wmodel import (
+    WeierstrassModel,
+    j_invariant,
+    two_torsion_xs,
+)
+from repro.field.fp2 import fp2_conj
+
+
+class TestWeierstrassModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return WeierstrassModel.of_fourq()
+
+    def test_generator_maps_onto_model(self, model):
+        g = AffinePoint.generator()
+        w = model.from_edwards(g)
+        assert model.contains(w)
+
+    def test_roundtrip(self, model, rng):
+        p = random_subgroup_point(rng)
+        assert model.to_edwards(model.from_edwards(p)) == p
+
+    def test_map_is_homomorphic_via_doubling(self, model, rng):
+        """x([2]P) on the model matches mapping the doubled Edwards point."""
+        from repro.curve.wmodel import x_double
+        from repro.field.tower import f4, f4_in_base
+
+        p = random_subgroup_point(rng)
+        w = model.from_edwards(p)
+        w2 = model.from_edwards(p + p)
+        xd = x_double(model.a, model.b, f4(w[0]))
+        assert f4_in_base(xd)
+        assert xd[0] == w2[0]
+
+    def test_one_rational_two_torsion(self, model):
+        """E_W has exactly one rational 2-torsion point (group is Z/8 x ...)."""
+        assert len(two_torsion_xs(model.a, model.b)) == 1
+
+    def test_j_invariant_not_in_fp(self, model):
+        j = j_invariant(model.a, model.b)
+        assert j != fp2_conj(j)  # E is not isomorphic to its conjugate
+
+
+class TestDerivation:
+    def test_derivation_succeeds(self, endo):
+        assert endo.lambda_phi != 0
+        assert endo.lambda_psi != 0
+
+    def test_eigenvalue_squares(self, endo):
+        n = SUBGROUP_ORDER_N
+        assert endo.lambda_psi**2 % n == PSI_SQUARE % n
+        assert endo.lambda_phi**2 % n == PHI_SQUARE % n
+
+    def test_psi_is_sqrt8_phi_is_sqrt_minus20(self):
+        assert PSI_SQUARE == 8
+        assert PHI_SQUARE == -20
+
+    def test_phi_acts_as_eigenvalue(self, endo, rng):
+        p = random_subgroup_point(rng)
+        assert endo.phi(p) == endo.lambda_phi * p
+
+    def test_psi_acts_as_eigenvalue(self, endo, rng):
+        p = random_subgroup_point(rng)
+        assert endo.psi(p) == endo.lambda_psi * p
+
+    def test_additivity(self, endo, rng):
+        p = random_subgroup_point(rng)
+        q = random_subgroup_point(rng)
+        assert endo.phi(p + q) == endo.phi(p) + endo.phi(q)
+        assert endo.psi(p + q) == endo.psi(p) + endo.psi(q)
+
+    def test_commutativity(self, endo, rng):
+        p = random_subgroup_point(rng)
+        assert endo.phi(endo.psi(p)) == endo.psi(endo.phi(p))
+
+    def test_outputs_on_curve(self, endo, rng):
+        p = random_subgroup_point(rng)
+        for q in (endo.phi(p), endo.psi(p)):
+            assert is_on_curve(q.x, q.y)
+
+    def test_identity_fixed(self, endo):
+        o = AffinePoint.identity()
+        assert endo.phi(o).is_identity()
+        assert endo.psi(o).is_identity()
+
+    def test_psi_squared_is_8(self, endo, rng):
+        p = random_subgroup_point(rng)
+        assert endo.psi(endo.psi(p)) == 8 * p
+
+    def test_phi_squared_is_minus_20(self, endo, rng):
+        p = random_subgroup_point(rng)
+        assert endo.phi(endo.phi(p)) == (SUBGROUP_ORDER_N - 20) * p
+
+    def test_composition_eigenvalue(self, endo):
+        g = AffinePoint.generator()
+        assert endo.psi(endo.phi(g)) == endo.lambda_phipsi * g
+
+    def test_cached(self):
+        assert derive_endomorphisms() is derive_endomorphisms()
+
+
+class TestAgainstEigenvalueOracle:
+    """The isogeny maps and the eigenvalue oracle must agree everywhere
+    on the subgroup — two completely independent evaluation paths."""
+
+    def test_cross_check(self, endo, rng):
+        from repro.curve.endomorphisms import EigenvalueEndomorphisms
+
+        oracle = EigenvalueEndomorphisms(
+            lambda_phi=endo.lambda_phi, lambda_psi=endo.lambda_psi
+        )
+        for _ in range(3):
+            p = random_subgroup_point(rng)
+            assert endo.phi(p) == oracle.phi(p)
+            assert endo.psi(p) == oracle.psi(p)

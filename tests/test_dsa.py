@@ -1,0 +1,124 @@
+"""Tests for SHA-256, ECDSA over P-256, and Schnorr over FourQ."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.p256 import P256
+from repro.dsa import ECDSASignature, fourq_schnorr, generate_keypair, sign, verify
+from repro.hashes import sha256, sha256_hex, sha256_int
+
+
+class TestSHA256:
+    def test_fips_vectors(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+        assert sha256_hex(b"abc") == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+        assert sha256_hex(
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        ) == "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+
+    def test_million_a(self):
+        assert sha256_hex(b"a" * 1_000_000) == (
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        )
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=40)
+    def test_matches_hashlib(self, msg):
+        assert sha256(msg) == hashlib.sha256(msg).digest()
+
+    def test_block_boundaries(self):
+        for size in (55, 56, 57, 63, 64, 65, 119, 120, 128):
+            msg = bytes(range(256))[:size] * 1
+            assert sha256(msg) == hashlib.sha256(msg).digest()
+
+    def test_int_form(self):
+        assert sha256_int(b"abc") == int(sha256_hex(b"abc"), 16)
+
+
+class TestECDSA:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        import random
+
+        return generate_keypair(rng=random.Random(7))
+
+    def test_sign_verify_roundtrip(self, keypair):
+        msg = b"priority vehicle approaching intersection 42"
+        sig = sign(keypair, msg)
+        assert verify(P256, keypair.public, msg, sig)
+
+    def test_tampered_message_rejected(self, keypair):
+        sig = sign(keypair, b"original")
+        assert not verify(P256, keypair.public, b"origina1", sig)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = sign(keypair, b"msg")
+        bad = ECDSASignature(r=sig.r, s=(sig.s + 1) % P256.n)
+        assert not verify(P256, keypair.public, b"msg", bad)
+
+    def test_out_of_range_rejected(self, keypair):
+        assert not verify(P256, keypair.public, b"m", ECDSASignature(r=0, s=1))
+        assert not verify(P256, keypair.public, b"m", ECDSASignature(r=1, s=P256.n))
+
+    def test_wrong_key_rejected(self, keypair):
+        import random
+
+        other = generate_keypair(rng=random.Random(8))
+        sig = sign(keypair, b"msg")
+        assert not verify(P256, other.public, b"msg", sig)
+
+    def test_deterministic_nonce(self, keypair):
+        assert sign(keypair, b"same") == sign(keypair, b"same")
+        assert sign(keypair, b"same") != sign(keypair, b"different")
+
+    def test_explicit_nonce(self, keypair):
+        sig = sign(keypair, b"msg", nonce=0x1234567)
+        assert verify(P256, keypair.public, b"msg", sig)
+
+    def test_off_curve_public_key_rejected(self, keypair):
+        sig = sign(keypair, b"msg")
+        bogus = (keypair.public[0], (keypair.public[1] + 1) % P256.p)
+        assert not verify(P256, bogus, b"msg", sig)
+
+
+class TestFourQSchnorr:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        import random
+
+        return fourq_schnorr.generate_keypair(rng=random.Random(3))
+
+    def test_roundtrip(self, keypair):
+        msg = b"traffic light state change"
+        sig = fourq_schnorr.sign(keypair, msg)
+        assert fourq_schnorr.verify(keypair.public, msg, sig)
+
+    def test_tamper_rejected(self, keypair):
+        sig = fourq_schnorr.sign(keypair, b"a")
+        assert not fourq_schnorr.verify(keypair.public, b"b", sig)
+
+    def test_s_tamper_rejected(self, keypair):
+        from dataclasses import replace
+
+        sig = fourq_schnorr.sign(keypair, b"a")
+        from repro.curve.params import SUBGROUP_ORDER_N
+
+        bad = replace(sig, s=(sig.s + 1) % SUBGROUP_ORDER_N)
+        assert not fourq_schnorr.verify(keypair.public, b"a", bad)
+
+    def test_invalid_commitment_rejected(self, keypair):
+        from dataclasses import replace
+
+        sig = fourq_schnorr.sign(keypair, b"a")
+        bad = replace(sig, commit_x=(1, 1))  # not a curve point
+        assert not fourq_schnorr.verify(keypair.public, b"a", bad)
+
+    def test_deterministic(self, keypair):
+        assert fourq_schnorr.sign(keypair, b"x") == fourq_schnorr.sign(keypair, b"x")

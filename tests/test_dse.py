@@ -1,0 +1,81 @@
+"""Tests for the design-space exploration API."""
+
+import pytest
+
+from repro.dse import (
+    DesignPoint,
+    evaluate_design_point,
+    render_design_points,
+    render_occupancy,
+    sweep_design_space,
+)
+from repro.flow import run_flow
+from repro.sched import MachineSpec
+from repro.trace import trace_loop_iteration
+
+
+@pytest.fixture(scope="module")
+def kernel_prog():
+    return trace_loop_iteration()
+
+
+class TestDesignPoints:
+    def test_single_point(self, kernel_prog):
+        pt = evaluate_design_point(kernel_prog, MachineSpec())
+        assert pt.cycles == 25
+        assert pt.registers > 0
+        assert pt.area_kge > 100
+        assert pt.latency_1v2_us > 0
+        # Kernel traces have point outputs that are not named result_x,
+        # so 'verified' falls back to True via expected handling — the
+        # flow itself golden-checks every writeback regardless.
+
+    def test_sweep_ordering(self, kernel_prog):
+        points = sweep_design_space(
+            kernel_prog,
+            [
+                ("Lm1", MachineSpec(mult_latency=1)),
+                ("Lm3", MachineSpec(mult_latency=3)),
+                ("Lm4-nofwd", MachineSpec(mult_latency=4, forwarding=False)),
+            ],
+        )
+        cycles = [p.cycles for p in points]
+        assert cycles[0] < cycles[1] < cycles[2]
+
+    def test_latency_scales_with_cycles(self, kernel_prog):
+        a = evaluate_design_point(kernel_prog, MachineSpec(mult_latency=1))
+        b = evaluate_design_point(kernel_prog, MachineSpec(mult_latency=4))
+        assert b.latency_1v2_us > a.latency_1v2_us
+
+    def test_render(self, kernel_prog):
+        points = sweep_design_space(
+            kernel_prog, [("base", MachineSpec())]
+        )
+        text = render_design_points(points)
+        assert "base" in text and "kGE" in text
+
+    def test_figure_of_merit(self):
+        p = DesignPoint(
+            name="x",
+            machine=MachineSpec(),
+            cycles=100,
+            registers=10,
+            area_kge=1000.0,
+            latency_1v2_us=10.0,
+            verified=True,
+        )
+        assert p.latency_area == pytest.approx(10.0)
+
+
+class TestOccupancy:
+    def test_render_occupancy(self, kernel_prog):
+        flow = run_flow(kernel_prog)
+        strip = render_occupancy(flow, 0, 25)
+        assert "mult" in strip and "addsub" in strip
+        # 15 multiplier issues must show up as 15 'M's.
+        assert strip.count("M") - 1 >= 14  # minus none; 'M' not in labels
+
+    def test_window_bounds(self, kernel_prog):
+        flow = run_flow(kernel_prog)
+        strip = render_occupancy(flow, 5, 10)
+        assert "cycles 5..9" in strip

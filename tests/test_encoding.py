@@ -1,0 +1,88 @@
+"""Tests for 32-byte point compression/decompression."""
+
+import pytest
+
+from repro.curve.encoding import (
+    ENCODED_SIZE,
+    DecodingError,
+    decode_point,
+    encode_point,
+)
+from repro.curve.point import AffinePoint, random_point, random_subgroup_point
+
+
+class TestRoundTrip:
+    def test_generator(self):
+        g = AffinePoint.generator()
+        assert decode_point(encode_point(g)) == g
+
+    def test_identity(self):
+        o = AffinePoint.identity()
+        assert decode_point(encode_point(o)) == o
+
+    def test_negated_points_differ(self):
+        g = AffinePoint.generator()
+        assert encode_point(g) != encode_point(-g)
+        assert decode_point(encode_point(-g)) == -g
+
+    def test_random_points(self, rng):
+        for _ in range(8):
+            p = random_point(rng)
+            enc = encode_point(p)
+            assert len(enc) == ENCODED_SIZE
+            assert decode_point(enc) == p
+
+    def test_subgroup_points(self, rng):
+        p = random_subgroup_point(rng)
+        assert decode_point(encode_point(p)) == p
+
+    def test_deterministic(self, rng):
+        p = random_point(rng)
+        assert encode_point(p) == encode_point(p)
+
+
+class TestValidation:
+    def test_wrong_length(self):
+        with pytest.raises(DecodingError):
+            decode_point(b"\x00" * 31)
+        with pytest.raises(DecodingError):
+            decode_point(b"\x00" * 33)
+
+    def test_reserved_bit(self):
+        g = AffinePoint.generator()
+        enc = bytearray(encode_point(g))
+        enc[15] |= 0x80  # top bit of first half
+        with pytest.raises(DecodingError):
+            decode_point(bytes(enc))
+
+    def test_out_of_range_coordinate(self):
+        # y0 = p (= 2^127 - 1) is out of range [0, p).
+        bad = ((1 << 127) - 1).to_bytes(16, "little") + b"\x00" * 16
+        with pytest.raises(DecodingError):
+            decode_point(bad)
+
+    def test_non_curve_y(self, rng):
+        """Most random y values are not on the curve; decoder must say so."""
+        rejected = 0
+        for _ in range(12):
+            y0 = rng.randrange((1 << 127) - 1)
+            y1 = rng.randrange((1 << 127) - 1)
+            data = y0.to_bytes(16, "little") + y1.to_bytes(16, "little")
+            try:
+                p = decode_point(data)
+                from repro.curve.params import is_on_curve
+
+                assert is_on_curve(p.x, p.y)
+            except DecodingError:
+                rejected += 1
+        assert rejected >= 3  # about half should be non-squares
+
+    def test_tampered_encoding_fails_or_differs(self, rng):
+        p = random_point(rng)
+        enc = bytearray(encode_point(p))
+        enc[0] ^= 1
+        try:
+            q = decode_point(bytes(enc))
+            assert q != p
+        except DecodingError:
+            pass

@@ -1,0 +1,95 @@
+"""Tests for the compiled (inversion-free) endomorphism evaluation."""
+
+import pytest
+
+from repro.curve.derive import derive_endomorphisms
+from repro.curve.endomaps import (
+    apply_compiled_endo,
+    apply_compiled_endo_frac,
+    compile_endomorphisms,
+    frac_to_r1,
+)
+from repro.curve.point import AffinePoint, random_subgroup_point
+from repro.field.fp2 import fp2_inv, fp2_mul
+
+
+@pytest.fixture(scope="module")
+def compiled(endo):
+    return compile_endomorphisms(endo)
+
+
+def _r1_to_affine(r1):
+    zinv = fp2_inv(r1.z)
+    return AffinePoint(fp2_mul(r1.x, zinv), fp2_mul(r1.y, zinv), check=True)
+
+
+class TestCompiledEndos:
+    def test_phi_matches_derived(self, compiled, endo, rng):
+        phi_c, _ = compiled
+        for _ in range(3):
+            p = random_subgroup_point(rng)
+            assert _r1_to_affine(apply_compiled_endo(phi_c, p.x, p.y)) == endo.phi(p)
+
+    def test_psi_matches_derived(self, compiled, endo, rng):
+        _, psi_c = compiled
+        for _ in range(3):
+            p = random_subgroup_point(rng)
+            assert _r1_to_affine(apply_compiled_endo(psi_c, p.x, p.y)) == endo.psi(p)
+
+    def test_chained_psi_phi(self, compiled, endo, rng):
+        """psi(phi(P)) through fractions, no intermediate inversion."""
+        phi_c, psi_c = compiled
+        p = random_subgroup_point(rng)
+        one = (1, 0)
+        fx, fy = apply_compiled_endo_frac(phi_c, (p.x, one), (p.y, one))
+        fx, fy = apply_compiled_endo_frac(psi_c, fx, fy)
+        assert _r1_to_affine(frac_to_r1(fx, fy)) == endo.psi(endo.phi(p))
+
+    def test_extended_coordinate_invariant(self, compiled, rng):
+        """Output R1 must satisfy Ta * Tb * Z == X * Y."""
+        phi_c, psi_c = compiled
+        p = random_subgroup_point(rng)
+        for ce in (phi_c, psi_c):
+            r1 = apply_compiled_endo(ce, p.x, p.y)
+            assert fp2_mul(fp2_mul(r1.ta, r1.tb), r1.z) == fp2_mul(r1.x, r1.y)
+
+    def test_eigenvalues_attached(self, compiled, endo):
+        phi_c, psi_c = compiled
+        assert phi_c.eigenvalue == endo.lambda_phi
+        assert psi_c.eigenvalue == endo.lambda_psi
+
+    def test_no_inversions_in_trace(self, compiled):
+        """The traced evaluation must contain only mul/add-class ops."""
+        from repro.trace import OpKind, Tracer
+
+        phi_c, psi_c = compiled
+        g = AffinePoint.generator()
+        tr = Tracer()
+        x = tr.input(g.x, "x")
+        y = tr.input(g.y, "y")
+        apply_compiled_endo(phi_c, x, y, tr)
+        apply_compiled_endo(psi_c, x, y, tr)
+        kinds = {op.kind for op in tr.trace}
+        assert kinds <= {
+            OpKind.MUL,
+            OpKind.SQR,
+            OpKind.ADD,
+            OpKind.SUB,
+            OpKind.NEG,
+            OpKind.CONJ,
+            OpKind.CONST,
+            OpKind.INPUT,
+        }
+
+    def test_cost_budget(self, compiled):
+        """phi ~78 muls, psi ~45 muls: the figures DESIGN.md promises."""
+        from repro.trace import Tracer
+
+        phi_c, psi_c = compiled
+        g = AffinePoint.generator()
+        for ce, lo, hi in ((phi_c, 55, 95), (psi_c, 30, 60)):
+            tr = Tracer()
+            x = tr.input(g.x, "x")
+            y = tr.input(g.y, "y")
+            apply_compiled_endo(ce, x, y, tr)
+            assert lo <= tr.multiplier_ops() <= hi

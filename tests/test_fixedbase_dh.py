@@ -1,0 +1,104 @@
+"""Tests for fixed-base comb multiplication and FourQ Diffie-Hellman."""
+
+import random
+
+import pytest
+
+from repro.curve import AffinePoint, SUBGROUP_ORDER_N
+from repro.curve.fixedbase import FixedBaseTable
+from repro.curve.encoding import DecodingError, encode_point
+from repro.dsa import fourq_dh
+
+
+@pytest.fixture(scope="module")
+def table():
+    return FixedBaseTable(AffinePoint.generator())
+
+
+class TestFixedBase:
+    def test_matches_reference(self, table, rng):
+        g = AffinePoint.generator()
+        for _ in range(5):
+            k = rng.randrange(2**256)
+            assert table.multiply(k) == (k % SUBGROUP_ORDER_N) * g
+
+    def test_edge_scalars(self, table):
+        g = AffinePoint.generator()
+        for k in (0, 1, 2, 3, SUBGROUP_ORDER_N - 1, SUBGROUP_ORDER_N, 2**256 - 1):
+            assert table.multiply(k) == (k % SUBGROUP_ORDER_N) * g
+
+    def test_even_and_odd_scalars(self, table):
+        g = AffinePoint.generator()
+        assert table.multiply(2**100) == (2**100) * g
+        assert table.multiply(2**100 + 1) == (2**100 + 1) * g
+
+    def test_table_size(self, table):
+        assert table.size_points == 2 * (1 << 3)  # v=2, w=4
+
+    def test_other_widths(self):
+        g = AffinePoint.generator()
+        k = 0xABCDEF123456789
+        for w, v in ((2, 1), (3, 2), (5, 2), (4, 4)):
+            t = FixedBaseTable(g, width=w, columns=v)
+            assert t.multiply(k) == k * g
+
+    def test_non_generator_base(self, rng):
+        from repro.curve.point import random_subgroup_point
+
+        base = random_subgroup_point(rng)
+        t = FixedBaseTable(base, width=3, columns=2)
+        k = rng.randrange(SUBGROUP_ORDER_N)
+        assert t.multiply(k) == k * base
+
+    def test_invalid_parameters(self):
+        g = AffinePoint.generator()
+        with pytest.raises(ValueError):
+            FixedBaseTable(g, width=1)
+        with pytest.raises(ValueError):
+            FixedBaseTable(g, columns=0)
+
+
+class TestDiffieHellman:
+    def test_agreement(self, rng):
+        alice = fourq_dh.generate_keypair(rng=rng)
+        bob = fourq_dh.generate_keypair(rng=rng)
+        s1 = fourq_dh.shared_secret(alice, bob.public_bytes)
+        s2 = fourq_dh.shared_secret(bob, alice.public_bytes)
+        assert s1 == s2
+        assert len(s1) == 32
+
+    def test_different_peers_differ(self, rng):
+        alice = fourq_dh.generate_keypair(rng=rng)
+        bob = fourq_dh.generate_keypair(rng=rng)
+        carol = fourq_dh.generate_keypair(rng=rng)
+        assert fourq_dh.shared_secret(alice, bob.public_bytes) != (
+            fourq_dh.shared_secret(alice, carol.public_bytes)
+        )
+
+    def test_malformed_public_rejected(self, rng):
+        alice = fourq_dh.generate_keypair(rng=rng)
+        with pytest.raises(DecodingError):
+            fourq_dh.shared_secret(alice, b"\xff" * 32)
+
+    def test_small_order_point_rejected(self, rng):
+        """The identity (order 1) must be refused."""
+        alice = fourq_dh.generate_keypair(rng=rng)
+        ident = encode_point(AffinePoint.identity())
+        with pytest.raises(fourq_dh.SmallOrderPoint):
+            fourq_dh.shared_secret(alice, ident)
+
+    def test_order_two_point_rejected(self, rng):
+        """(0, -1) has order 2: cofactor clearing kills it."""
+        from repro.field.fp import P127
+
+        alice = fourq_dh.generate_keypair(rng=rng)
+        order2 = AffinePoint((0, 0), (P127 - 1, 0))
+        with pytest.raises(fourq_dh.SmallOrderPoint):
+            fourq_dh.shared_secret(alice, encode_point(order2))
+
+    def test_public_key_is_valid_encoding(self, rng):
+        from repro.curve.encoding import decode_point
+
+        kp = fourq_dh.generate_keypair(rng=rng)
+        pt = decode_point(kp.public_bytes)
+        assert (SUBGROUP_ORDER_N * pt).is_identity()

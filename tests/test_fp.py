@@ -1,0 +1,152 @@
+"""Unit and property tests for F_p arithmetic (p = 2^127 - 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.fp import (
+    P127,
+    Fp,
+    fp_add,
+    fp_inv,
+    fp_is_square,
+    fp_mul,
+    fp_neg,
+    fp_normalize,
+    fp_reduce,
+    fp_sqr,
+    fp_sqrt,
+    fp_sub,
+)
+
+elements = st.integers(min_value=0, max_value=P127 - 1)
+wide = st.integers(min_value=0, max_value=(P127 - 1) ** 2 * 4)
+
+
+class TestReduce:
+    def test_zero(self):
+        assert fp_reduce(0) == 0
+
+    def test_p_reduces_to_zero(self):
+        assert fp_reduce(P127) == 0
+
+    def test_two_p(self):
+        assert fp_reduce(2 * P127) == 0
+
+    def test_power_of_two_fold(self):
+        # 2^127 === 1 (mod p)
+        assert fp_reduce(1 << 127) == 1
+
+    def test_max_product(self):
+        z = (P127 - 1) * (P127 - 1)
+        assert fp_reduce(z) == z % P127
+
+    @given(wide)
+    def test_reduce_matches_mod(self, z):
+        assert fp_reduce(z) == z % P127
+
+    @given(st.integers(min_value=-(10**60), max_value=10**60))
+    def test_normalize_matches_mod(self, z):
+        assert fp_normalize(z) == z % P127
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_add_commutes(self, a, b):
+        assert fp_add(a, b) == fp_add(b, a)
+
+    @given(elements, elements, elements)
+    def test_add_associates(self, a, b, c):
+        assert fp_add(fp_add(a, b), c) == fp_add(a, fp_add(b, c))
+
+    @given(elements, elements)
+    def test_mul_commutes(self, a, b):
+        assert fp_mul(a, b) == fp_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert fp_mul(a, fp_add(b, c)) == fp_add(fp_mul(a, b), fp_mul(a, c))
+
+    @given(elements)
+    def test_add_neg_is_zero(self, a):
+        assert fp_add(a, fp_neg(a)) == 0
+
+    @given(elements)
+    def test_sub_self_zero(self, a):
+        assert fp_sub(a, a) == 0
+
+    @given(elements)
+    def test_sqr_matches_mul(self, a):
+        assert fp_sqr(a) == fp_mul(a, a)
+
+    @given(elements.filter(lambda a: a != 0))
+    def test_inverse(self, a):
+        assert fp_mul(a, fp_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            fp_inv(0)
+
+
+class TestSqrt:
+    @given(elements)
+    def test_sqrt_of_square(self, a):
+        s = fp_sqr(a)
+        r = fp_sqrt(s)
+        assert r is not None
+        assert fp_sqr(r) == s
+
+    @given(elements)
+    def test_is_square_consistent(self, a):
+        s = fp_sqr(a)
+        assert fp_is_square(s)
+
+    def test_sqrt_zero(self):
+        assert fp_sqrt(0) == 0
+
+    def test_nonresidue_returns_none(self):
+        # -1 is a non-residue for p === 3 (mod 4)
+        assert fp_sqrt(P127 - 1) is None
+        assert not fp_is_square(P127 - 1)
+
+
+class TestFpClass:
+    def test_constructor_normalizes(self):
+        assert Fp(P127 + 5).value == 5
+        assert Fp(-1).value == P127 - 1
+
+    def test_mixed_int_arithmetic(self):
+        a = Fp(10)
+        assert a + 5 == Fp(15)
+        assert 5 + a == Fp(15)
+        assert a - 3 == Fp(7)
+        assert 3 - a == Fp(-7)
+        assert a * 2 == Fp(20)
+        assert -a == Fp(-10)
+
+    def test_division(self):
+        a = Fp(10)
+        assert (a / 2) * 2 == a
+        assert (2 / a) * a == Fp(2)
+
+    def test_pow_negative_exponent(self):
+        a = Fp(7)
+        assert a ** -1 * a == Fp(1)
+
+    def test_eq_hash(self):
+        assert Fp(3) == 3
+        assert Fp(3) == Fp(3)
+        assert hash(Fp(3)) == hash(Fp(P127 + 3))
+
+    def test_bool(self):
+        assert not Fp(0)
+        assert Fp(1)
+
+    def test_repr_roundtrip_hex(self):
+        assert "0x2a" in repr(Fp(42))
+
+    def test_sqrt_method(self):
+        nine = Fp(9)
+        r = nine.sqrt()
+        assert r is not None and r * r == nine
+        assert nine.is_square()

@@ -1,0 +1,187 @@
+"""Unit and property tests for F_{p^2} arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.fp import P127
+from repro.field.fp2 import (
+    I_UNIT,
+    ONE,
+    ZERO,
+    Fp2,
+    fp2_add,
+    fp2_conj,
+    fp2_inv,
+    fp2_is_square,
+    fp2_mul,
+    fp2_mul_schoolbook,
+    fp2_neg,
+    fp2_norm,
+    fp2_pow,
+    fp2_sqr,
+    fp2_sqrt,
+    fp2_sub,
+)
+
+coord = st.integers(min_value=0, max_value=P127 - 1)
+elements = st.tuples(coord, coord)
+nonzero = elements.filter(lambda a: a != (0, 0))
+
+
+class TestKaratsubaVsSchoolbook:
+    """The paper's multiplier design claim: Karatsuba+lazy-reduction (3
+    F_p muls) computes the same product as the classical 4-mul method."""
+
+    @given(elements, elements)
+    def test_equivalence(self, a, b):
+        assert fp2_mul(a, b) == fp2_mul_schoolbook(a, b)
+
+    def test_i_squared_is_minus_one(self):
+        assert fp2_mul(I_UNIT, I_UNIT) == (P127 - 1, 0)
+
+    def test_identity(self):
+        assert fp2_mul((5, 7), ONE) == (5, 7)
+
+    @given(elements)
+    def test_sqr_matches_mul(self, a):
+        assert fp2_sqr(a) == fp2_mul(a, a)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_mul_commutes(self, a, b):
+        assert fp2_mul(a, b) == fp2_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associates(self, a, b, c):
+        assert fp2_mul(fp2_mul(a, b), c) == fp2_mul(a, fp2_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert fp2_mul(a, fp2_add(b, c)) == fp2_add(fp2_mul(a, b), fp2_mul(a, c))
+
+    @given(elements)
+    def test_add_neg(self, a):
+        assert fp2_add(a, fp2_neg(a)) == ZERO
+
+    @given(elements, elements)
+    def test_sub_add_roundtrip(self, a, b):
+        assert fp2_add(fp2_sub(a, b), b) == a
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert fp2_mul(a, fp2_inv(a)) == ONE
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            fp2_inv(ZERO)
+
+
+class TestConjNorm:
+    @given(elements)
+    def test_conj_involution(self, a):
+        assert fp2_conj(fp2_conj(a)) == a
+
+    @given(elements, elements)
+    def test_conj_multiplicative(self, a, b):
+        assert fp2_conj(fp2_mul(a, b)) == fp2_mul(fp2_conj(a), fp2_conj(b))
+
+    @given(elements)
+    def test_conj_is_frobenius(self, a):
+        """conj(a) == a^p — conjugation implements the p-power map."""
+        assert fp2_conj(a) == fp2_pow(a, P127)
+
+    @given(elements)
+    def test_norm_is_a_times_conj(self, a):
+        n = fp2_norm(a)
+        assert fp2_mul(a, fp2_conj(a)) == (n, 0)
+
+    @given(elements, elements)
+    def test_norm_multiplicative(self, a, b):
+        assert fp2_norm(fp2_mul(a, b)) == fp2_norm(a) * fp2_norm(b) % P127
+
+
+class TestSqrt:
+    @given(elements)
+    def test_sqrt_of_square(self, a):
+        s = fp2_sqr(a)
+        r = fp2_sqrt(s)
+        assert r is not None
+        assert fp2_sqr(r) == s
+
+    @given(elements)
+    def test_is_square_of_square(self, a):
+        assert fp2_is_square(fp2_sqr(a))
+
+    def test_sqrt_zero_and_one(self):
+        assert fp2_sqrt(ZERO) == ZERO
+        r = fp2_sqrt(ONE)
+        assert r is not None and fp2_sqr(r) == ONE
+
+    def test_sqrt_minus_one(self):
+        # -1 = i^2 is a square in F_{p^2}.
+        r = fp2_sqrt((P127 - 1, 0))
+        assert r is not None
+        assert fp2_sqr(r) == (P127 - 1, 0)
+
+    def test_pure_imaginary(self):
+        r = fp2_sqrt((0, 5))
+        if r is not None:
+            assert fp2_sqr(r) == (0, 5)
+
+    @given(nonzero)
+    def test_nonsquare_detection_consistent(self, a):
+        """Exactly one of a, xi*a is a square when xi is a non-square."""
+        s = fp2_sqr(a)
+        assert fp2_is_square(s)
+        if fp2_sqrt(s) is None:
+            pytest.fail("sqrt failed on a known square")
+
+
+class TestPow:
+    @given(elements)
+    def test_pow_small(self, a):
+        assert fp2_pow(a, 0) == ONE
+        assert fp2_pow(a, 1) == a
+        assert fp2_pow(a, 2) == fp2_sqr(a)
+        assert fp2_pow(a, 3) == fp2_mul(a, fp2_sqr(a))
+
+    @given(nonzero)
+    def test_fermat(self, a):
+        """a^(p^2 - 1) == 1: the multiplicative group has order p^2-1."""
+        assert fp2_pow(a, P127 * P127 - 1) == ONE
+
+    @given(nonzero)
+    def test_pow_negative(self, a):
+        assert fp2_mul(fp2_pow(a, -1), a) == ONE
+
+
+class TestFp2Class:
+    def test_construct_from_tuple(self):
+        assert Fp2((3, 4)).raw == (3, 4)
+
+    def test_mixed_arithmetic(self):
+        a = Fp2(3, 4)
+        assert a + 1 == Fp2(4, 4)
+        assert a * 2 == Fp2(6, 8)
+        assert (a / a) == Fp2(1, 0)
+        assert -a == Fp2(-3, -4)
+        assert 1 - a == Fp2(-2, -4)
+
+    def test_eq_with_int_and_tuple(self):
+        assert Fp2(7) == 7
+        assert Fp2(7, 1) == (7, 1)
+        assert Fp2(7, 1) != 7
+
+    def test_methods(self):
+        a = Fp2(3, 4)
+        assert a.conjugate().raw == (3, P127 - 4)
+        assert a.inverse() * a == Fp2(1)
+        assert a.square() == a * a
+        r = (a * a).sqrt()
+        assert r is not None and r.square() == a * a
+        assert (a * a).is_square()
+
+    def test_hash_consistency(self):
+        assert hash(Fp2(1, 2)) == hash(Fp2((1, 2)))

@@ -1,0 +1,60 @@
+"""Tests for the CM / Q-curve invariants of FourQ."""
+
+import pytest
+
+from repro.curve.invariants import (
+    CurveInvariants,
+    compute_invariants,
+    eigenvalue_relations_hold,
+    frobenius_trace,
+    subgroup_index_factorization,
+)
+from repro.curve.params import CURVE_ORDER, SUBGROUP_ORDER_N
+from repro.field.fp import P127
+
+
+class TestInvariants:
+    @pytest.fixture(scope="class")
+    def inv(self):
+        return compute_invariants()
+
+    def test_trace_in_hasse_interval(self, inv):
+        assert abs(inv.frobenius_trace) <= 2 * P127
+        assert inv.frobenius_trace == P127**2 + 1 - CURVE_ORDER
+
+    def test_trace_positive_127_bits(self, inv):
+        assert inv.frobenius_trace > 0
+        assert inv.frobenius_trace.bit_length() == 127
+
+    def test_cm_discriminant_identity(self, inv):
+        t, g = inv.frobenius_trace, inv.cm_conductor
+        assert 4 * P127**2 - t * t == 40 * g * g
+        assert inv.cm_discriminant == -40
+
+    def test_q_curve_signature(self, inv):
+        s = inv.q_curve_trace
+        assert s * s == 2 * inv.frobenius_trace + 4 * P127
+        assert s.bit_length() == 65
+
+    def test_endomorphism_field_name(self, inv):
+        assert "sqrt(-10)" in inv.endomorphism_field
+
+    def test_derived_eigenvalues_consistent(self, endo):
+        assert eigenvalue_relations_hold(endo.lambda_phi, endo.lambda_psi)
+
+    def test_wrong_eigenvalues_rejected(self, endo):
+        assert not eigenvalue_relations_hold(endo.lambda_phi + 1, endo.lambda_psi)
+        assert not eigenvalue_relations_hold(endo.lambda_phi, endo.lambda_psi + 1)
+
+    def test_cofactor_structure(self):
+        two, seven, cof = subgroup_index_factorization()
+        assert (two, seven, cof) == (8, 49, 392)
+        assert cof * SUBGROUP_ORDER_N == CURVE_ORDER
+
+    def test_wrong_order_rejected(self):
+        with pytest.raises(ArithmeticError):
+            compute_invariants(order=CURVE_ORDER + 2)
+
+    def test_hasse_violation_rejected(self):
+        with pytest.raises(ArithmeticError):
+            frobenius_trace(order=1)

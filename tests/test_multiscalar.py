@@ -1,0 +1,110 @@
+"""Tests for multi-scalar multiplication and batch Schnorr verification."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.curve import AffinePoint, SUBGROUP_ORDER_N
+from repro.curve.multiscalar import batch_verify_schnorr, multi_scalar_mul
+from repro.curve.point import random_subgroup_point
+from repro.dsa import fourq_schnorr
+
+
+class TestMultiScalar:
+    def test_matches_reference(self, rng):
+        pts = [random_subgroup_point(rng) for _ in range(5)]
+        ks = [rng.randrange(2**256) for _ in range(5)]
+        got = multi_scalar_mul(ks, pts)
+        exp = AffinePoint.identity()
+        for k, p in zip(ks, pts):
+            exp = exp + (k % SUBGROUP_ORDER_N) * p
+        assert got == exp
+
+    def test_single_point_degenerates_to_scalar_mul(self, rng):
+        p = random_subgroup_point(rng)
+        k = rng.randrange(2**256)
+        assert multi_scalar_mul([k], [p]) == (k % SUBGROUP_ORDER_N) * p
+
+    def test_empty_batch(self):
+        assert multi_scalar_mul([], []) == AffinePoint.identity()
+
+    def test_identity_points_skipped(self, rng):
+        p = random_subgroup_point(rng)
+        got = multi_scalar_mul([7, 5], [AffinePoint.identity(), p])
+        assert got == 5 * p
+
+    def test_zero_scalars(self, rng):
+        p = random_subgroup_point(rng)
+        q = random_subgroup_point(rng)
+        assert multi_scalar_mul([0, 0], [p, q]) == AffinePoint.identity()
+
+    def test_cancellation(self, rng):
+        p = random_subgroup_point(rng)
+        got = multi_scalar_mul([3, SUBGROUP_ORDER_N - 3], [p, p])
+        assert got.is_identity()
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            multi_scalar_mul([1, 2], [random_subgroup_point(rng)])
+
+    def test_larger_batch(self, rng):
+        n = 8
+        pts = [random_subgroup_point(rng) for _ in range(n)]
+        ks = [rng.randrange(SUBGROUP_ORDER_N) for _ in range(n)]
+        got = multi_scalar_mul(ks, pts)
+        exp = AffinePoint.identity()
+        for k, p in zip(ks, pts):
+            exp = exp + k * p
+        assert got == exp
+
+
+class TestBatchVerify:
+    @pytest.fixture(scope="class")
+    def signed_batch(self):
+        rng = random.Random(0xBA7C)
+        items = []
+        for i in range(4):
+            kp = fourq_schnorr.generate_keypair(rng=rng)
+            msg = f"CAM vehicle={i}".encode()
+            items.append((kp.public, msg, fourq_schnorr.sign(kp, msg)))
+        return items
+
+    def test_valid_batch_accepts(self, signed_batch, rng):
+        assert batch_verify_schnorr(signed_batch, rng=rng)
+
+    def test_empty_batch_accepts(self, rng):
+        assert batch_verify_schnorr([], rng=rng)
+
+    def test_single_item(self, signed_batch, rng):
+        assert batch_verify_schnorr(signed_batch[:1], rng=rng)
+
+    def test_forged_message_rejected(self, signed_batch, rng):
+        bad = list(signed_batch)
+        pub, _, sig = bad[2]
+        bad[2] = (pub, b"evil payload", sig)
+        assert not batch_verify_schnorr(bad, rng=rng)
+
+    def test_tampered_s_rejected(self, signed_batch, rng):
+        bad = list(signed_batch)
+        pub, msg, sig = bad[0]
+        bad[0] = (pub, msg, replace(sig, s=(sig.s * 2) % SUBGROUP_ORDER_N))
+        assert not batch_verify_schnorr(bad, rng=rng)
+
+    def test_swapped_keys_rejected(self, signed_batch, rng):
+        bad = list(signed_batch)
+        (p0, m0, s0), (p1, m1, s1) = bad[0], bad[1]
+        bad[0], bad[1] = (p1, m0, s0), (p0, m1, s1)
+        assert not batch_verify_schnorr(bad, rng=rng)
+
+    def test_out_of_range_s_rejected(self, signed_batch, rng):
+        bad = list(signed_batch)
+        pub, msg, sig = bad[0]
+        bad[0] = (pub, msg, replace(sig, s=0))
+        assert not batch_verify_schnorr(bad, rng=rng)
+
+    def test_invalid_commitment_rejected(self, signed_batch, rng):
+        bad = list(signed_batch)
+        pub, msg, sig = bad[0]
+        bad[0] = (pub, msg, replace(sig, commit_x=(1, 1)))
+        assert not batch_verify_schnorr(bad, rng=rng)

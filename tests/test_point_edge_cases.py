@@ -1,0 +1,120 @@
+"""Edge-case tests: special points, torsion structure, lift behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curve.params import (
+    COFACTOR,
+    SUBGROUP_ORDER_N,
+    curve_rhs_lhs,
+    is_on_curve,
+)
+from repro.curve.point import AffinePoint, lift_x, random_point
+from repro.field.fp import P127
+
+coord = st.integers(min_value=0, max_value=P127 - 1)
+
+
+class TestSpecialPoints:
+    def test_identity_on_curve(self):
+        assert is_on_curve((0, 0), (1, 0))
+
+    def test_order_two_point(self):
+        """(0, -1) is the unique rational point of order 2."""
+        neg_one = (P127 - 1, 0)
+        p2 = AffinePoint((0, 0), neg_one)
+        assert (p2 + p2).is_identity()
+        assert not p2.is_identity()
+        assert -p2 == p2  # its own negative
+
+    def test_order_two_annihilated_by_cofactor(self):
+        p2 = AffinePoint((0, 0), (P127 - 1, 0))
+        assert (COFACTOR * p2).is_identity()
+        # but NOT by N (odd), so cofactor clearing is essential:
+        assert not (SUBGROUP_ORDER_N * p2).is_identity()
+
+    def test_curve_equation_helper(self):
+        g = AffinePoint.generator()
+        lhs, rhs = curve_rhs_lhs(g.x, g.y)
+        assert lhs == rhs
+        lhs2, rhs2 = curve_rhs_lhs((1, 2), (3, 4))
+        assert lhs2 != rhs2
+
+    def test_double_identity(self):
+        o = AffinePoint.identity()
+        assert o.double().is_identity()
+
+    def test_small_multiples_distinct(self):
+        """[1..20]G are pairwise distinct (G has huge prime order)."""
+        g = AffinePoint.generator()
+        pts = set()
+        acc = g
+        for _ in range(20):
+            pts.add((acc.x, acc.y))
+            acc = acc + g
+        assert len(pts) == 20
+
+
+class TestLiftX:
+    @given(coord, coord)
+    @settings(max_examples=20)
+    def test_lift_is_on_curve_when_found(self, x0, x1):
+        lifted = lift_x((x0, x1))
+        if lifted is not None:
+            x, y = lifted
+            assert is_on_curve(x, y)
+
+    def test_lift_zero_gives_identity_or_order2(self):
+        lifted = lift_x((0, 0))
+        assert lifted is not None
+        x, y = lifted
+        assert x == (0, 0)
+        assert y in ((1, 0), (P127 - 1, 0))
+
+    def test_roughly_half_lift(self, rng):
+        found = sum(
+            1
+            for _ in range(40)
+            if lift_x((rng.randrange(P127), rng.randrange(P127))) is not None
+        )
+        assert 8 <= found <= 32  # ~50% +- generous noise
+
+
+class TestSubgroupStructure:
+    def test_cofactor_clearing_idempotent_on_subgroup(self, rng):
+        from repro.curve.point import random_subgroup_point
+
+        p = random_subgroup_point(rng)
+        # Clearing again multiplies by 392; still in the subgroup and
+        # equals [392]p.
+        assert p.clear_cofactor() == COFACTOR * p
+
+    def test_full_group_point_lands_in_subgroup(self, rng):
+        p = random_point(rng)
+        cleared = p.clear_cofactor()
+        assert (SUBGROUP_ORDER_N * cleared).is_identity()
+
+    def test_torsion_component_detected(self, rng):
+        """A random point usually has a nontrivial cofactor component:
+        [N]P is then a small-order point, killed by [392]."""
+        p = random_point(rng)
+        t = SUBGROUP_ORDER_N * p
+        assert (COFACTOR * t).is_identity()
+
+
+class TestScalarEdge:
+    def test_negative_scalars(self):
+        g = AffinePoint.generator()
+        assert (-5) * g == 5 * (-g)
+        assert (-1) * g == -g
+
+    def test_huge_scalar_reduction(self):
+        g = AffinePoint.generator()
+        k = SUBGROUP_ORDER_N * 12345 + 77
+        assert k * g == 77 * g
+
+    def test_rmul_type_errors(self):
+        g = AffinePoint.generator()
+        with pytest.raises(TypeError):
+            _ = "3" * g  # type: ignore[operator]

@@ -1,0 +1,79 @@
+"""Tests for the GLV-SAC recoding (paper Alg. 1 steps 4-5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curve.recoding import RecodedScalar, recode_glv_sac, recoded_to_scalars
+
+odd64 = st.integers(min_value=0, max_value=2**63 - 1).map(lambda v: 2 * v + 1)
+any64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestRoundTrip:
+    @given(odd64, any64, any64, any64)
+    @settings(max_examples=60)
+    def test_recode_inverts(self, a1, a2, a3, a4):
+        rec = recode_glv_sac((a1, a2, a3, a4))
+        assert recoded_to_scalars(rec) == (a1, a2, a3, a4)
+
+    def test_small_known_case(self):
+        rec = recode_glv_sac((1, 0, 0, 0), length=2)
+        assert recoded_to_scalars(rec) == (1, 0, 0, 0)
+
+    def test_all_max(self):
+        a = (2**64 - 1, 2**64 - 1, 2**64 - 1, 2**64 - 1)
+        rec = recode_glv_sac(a)
+        assert recoded_to_scalars(rec) == a
+
+
+class TestDigitProperties:
+    @given(odd64, any64, any64, any64)
+    @settings(max_examples=60)
+    def test_digit_and_sign_ranges(self, a1, a2, a3, a4):
+        rec = recode_glv_sac((a1, a2, a3, a4))
+        assert rec.length == 65
+        assert all(0 <= d <= 7 for d in rec.digits)
+        assert all(s in (-1, 1) for s in rec.signs)
+
+    def test_paper_length_and_iterations(self):
+        """65 digits d_64..d_0 => 64 loop iterations, as in Algorithm 1."""
+        rec = recode_glv_sac((2**63 + 1, 2**62, 2**62, 2**62))
+        assert rec.length == 65
+        assert rec.iterations == 64
+
+    def test_top_sign_always_positive(self):
+        rec = recode_glv_sac((3, 1, 1, 1), length=4)
+        assert rec.signs[-1] == 1
+
+    def test_masks_encoding(self):
+        """m_i = -1 where s_i = +1 and m_i = 0 where s_i = -1 (paper step 5)."""
+        rec = recode_glv_sac((5, 2, 0, 1), length=5)
+        for s, m in zip(rec.signs, rec.masks):
+            assert (s, m) in ((1, -1), (-1, 0))
+
+
+class TestValidation:
+    def test_even_a1_rejected(self):
+        with pytest.raises(ValueError):
+            recode_glv_sac((2, 1, 1, 1))
+
+    def test_zero_a1_rejected(self):
+        with pytest.raises(ValueError):
+            recode_glv_sac((0, 1, 1, 1))
+
+    def test_negative_follower_rejected(self):
+        with pytest.raises(ValueError):
+            recode_glv_sac((1, -1, 0, 0))
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            recode_glv_sac((1, 2, 3))
+
+    def test_a1_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            recode_glv_sac((2**70 + 1, 0, 0, 0), length=65)
+
+    def test_follower_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            recode_glv_sac((1, 2**65, 0, 0), length=65)

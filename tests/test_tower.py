@@ -1,0 +1,100 @@
+"""Tests for the F_{p^4} tower field."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.fp import P127
+from repro.field.fp2 import fp2_is_square, fp2_mul
+from repro.field.tower import (
+    F4_ONE,
+    F4_ZERO,
+    XI,
+    f4,
+    f4_add,
+    f4_in_base,
+    f4_inv,
+    f4_is_square,
+    f4_mul,
+    f4_neg,
+    f4_pow,
+    f4_sqr,
+    f4_sqrt,
+    f4_sub,
+)
+
+coord = st.integers(min_value=0, max_value=P127 - 1)
+fp2el = st.tuples(coord, coord)
+elements = st.tuples(fp2el, fp2el)
+nonzero = elements.filter(lambda a: a != F4_ZERO)
+
+
+def test_xi_is_nonsquare():
+    assert not fp2_is_square(XI)
+
+
+def test_w_squared_is_xi():
+    w = ((0, 0), (1, 0))
+    assert f4_sqr(w) == (XI, (0, 0))
+
+
+class TestAxioms:
+    @given(elements, elements)
+    def test_mul_commutes(self, a, b):
+        assert f4_mul(a, b) == f4_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associates(self, a, b, c):
+        assert f4_mul(f4_mul(a, b), c) == f4_mul(a, f4_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert f4_mul(a, f4_add(b, c)) == f4_add(f4_mul(a, b), f4_mul(a, c))
+
+    @given(elements)
+    def test_add_neg(self, a):
+        assert f4_add(a, f4_neg(a)) == F4_ZERO
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert f4_mul(a, f4_inv(a)) == F4_ONE
+
+    @given(elements, elements)
+    def test_sub_add(self, a, b):
+        assert f4_add(f4_sub(a, b), b) == a
+
+
+class TestEmbedding:
+    @given(fp2el, fp2el)
+    def test_embedding_homomorphic(self, a, b):
+        assert f4_mul(f4(a), f4(b)) == f4(fp2_mul(a, b))
+
+    @given(fp2el)
+    def test_in_base(self, a):
+        assert f4_in_base(f4(a))
+        assert not f4_in_base((a, (1, 0)))
+
+
+class TestSqrt:
+    @given(elements)
+    def test_sqrt_of_square(self, a):
+        s = f4_sqr(a)
+        r = f4_sqrt(s)
+        assert r is not None
+        assert f4_sqr(r) == s
+
+    def test_xi_has_sqrt_in_tower(self):
+        """xi is a non-square in F_{p^2} but w^2 = xi in F_{p^4}."""
+        r = f4_sqrt(f4(XI))
+        assert r is not None
+        assert f4_sqr(r) == f4(XI)
+
+    def test_sqrt_zero(self):
+        assert f4_sqrt(F4_ZERO) == F4_ZERO
+
+    @given(nonzero)
+    def test_is_square_of_square(self, a):
+        assert f4_is_square(f4_sqr(a))
+
+    @given(nonzero)
+    def test_fermat(self, a):
+        assert f4_pow(a, P127**4 - 1) == F4_ONE

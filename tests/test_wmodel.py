@@ -1,0 +1,178 @@
+"""Tests for the Weierstrass model machinery and Velu isogenies."""
+
+import pytest
+
+from repro.curve.derive import derive_endomorphisms
+from repro.curve.point import AffinePoint, random_subgroup_point
+from repro.curve.wmodel import (
+    Isogeny2,
+    WeierstrassModel,
+    conj_point,
+    division_poly_5,
+    find_isomorphisms,
+    j_invariant,
+    scale_point,
+    two_torsion_xs,
+    x_double,
+)
+from repro.field.fp2 import fp2_conj, fp2_mul, fp2_neg, fp2_sqr
+from repro.field.tower import f4, f4_in_base
+from repro.nt.poly import poly_deg, poly_eval
+
+
+@pytest.fixture(scope="module")
+def model():
+    return WeierstrassModel.of_fourq()
+
+
+class TestModelMaps:
+    def test_generator_roundtrip(self, model):
+        g = AffinePoint.generator()
+        assert model.to_edwards(model.from_edwards(g)) == g
+
+    def test_addition_preserved(self, model, rng):
+        """The birational map is a group homomorphism (checked via sums)."""
+        p = random_subgroup_point(rng)
+        q = random_subgroup_point(rng)
+        wp, wq = model.from_edwards(p), model.from_edwards(q)
+        ws = model.from_edwards(p + q)
+        # Weierstrass chord law on (wp, wq) must give ws.
+        x1, y1 = wp
+        x2, y2 = wq
+        from repro.field.fp2 import fp2_inv, fp2_sub, fp2_add
+
+        lam = fp2_mul(fp2_sub(y2, y1), fp2_inv(fp2_sub(x2, x1)))
+        x3 = fp2_sub(fp2_sub(fp2_sqr(lam), x1), x2)
+        y3 = fp2_sub(fp2_mul(lam, fp2_sub(x1, x3)), y1)
+        assert (x3, y3) == ws
+
+    def test_negation_maps_to_negation(self, model, rng):
+        p = random_subgroup_point(rng)
+        wx, wy = model.from_edwards(p)
+        assert model.from_edwards(-p) == (wx, fp2_neg(wy))
+
+
+class TestJInvariant:
+    def test_conjugate_curve(self, model):
+        j = j_invariant(model.a, model.b)
+        jc = j_invariant(fp2_conj(model.a), fp2_conj(model.b))
+        assert jc == fp2_conj(j)
+
+    def test_isomorphic_curves_share_j(self, model):
+        u = (3, 7)
+        u2 = fp2_sqr(u)
+        a2 = fp2_mul(fp2_sqr(u2), model.a)
+        b2 = fp2_mul(fp2_mul(fp2_sqr(u2), u2), model.b)
+        assert j_invariant(a2, b2) == j_invariant(model.a, model.b)
+
+
+class TestIsomorphisms:
+    def test_self_isomorphism_found(self, model):
+        us = find_isomorphisms(model.a, model.b, model.a, model.b)
+        assert (1, 0) in us or (0, 0) not in us
+        assert us  # at least the identity scaling
+
+    def test_scaled_curve(self, model):
+        u = (5, 9)
+        u4 = fp2_sqr(fp2_sqr(u))
+        u6 = fp2_mul(u4, fp2_sqr(u))
+        us = find_isomorphisms(
+            model.a, model.b, fp2_mul(u4, model.a), fp2_mul(u6, model.b)
+        )
+        assert u in us or fp2_neg(u) in us
+
+    def test_scale_point_consistent(self, model, rng):
+        p = random_subgroup_point(rng)
+        w = model.from_edwards(p)
+        u = (11, 4)
+        sx, sy = scale_point(w, u)
+        # The scaled point lies on the scaled curve.
+        u4 = fp2_sqr(fp2_sqr(u))
+        u6 = fp2_mul(u4, fp2_sqr(u))
+        from repro.field.fp2 import fp2_add
+
+        rhs = fp2_add(
+            fp2_add(fp2_mul(fp2_sqr(sx), sx), fp2_mul(fp2_mul(u4, model.a), sx)),
+            fp2_mul(u6, model.b),
+        )
+        assert fp2_sqr(sy) == rhs
+
+
+class TestVelu2:
+    def test_image_points_on_image_curve(self, model, rng):
+        x0 = two_torsion_xs(model.a, model.b)[0]
+        iso = Isogeny2.from_kernel(model.a, model.b, x0)
+        p = random_subgroup_point(rng)
+        ix, iy = iso(model.from_edwards(p))
+        from repro.field.fp2 import fp2_add
+
+        rhs = fp2_add(
+            fp2_add(fp2_mul(fp2_sqr(ix), ix), fp2_mul(iso.a_image, ix)),
+            iso.b_image,
+        )
+        assert fp2_sqr(iy) == rhs
+
+    def test_isogeny_additive(self, model, rng):
+        """phi(P + Q) == phi(P) + phi(Q) on the image curve."""
+        x0 = two_torsion_xs(model.a, model.b)[0]
+        iso = Isogeny2.from_kernel(model.a, model.b, x0)
+        p = random_subgroup_point(rng)
+        q = random_subgroup_point(rng)
+        ip = iso(model.from_edwards(p))
+        iq = iso(model.from_edwards(q))
+        ipq = iso(model.from_edwards(p + q))
+        # chord law on the image curve
+        from repro.field.fp2 import fp2_inv, fp2_sub
+
+        lam = fp2_mul(fp2_sub(iq[1], ip[1]), fp2_inv(fp2_sub(iq[0], ip[0])))
+        x3 = fp2_sub(fp2_sub(fp2_sqr(lam), ip[0]), iq[0])
+        y3 = fp2_sub(fp2_mul(lam, fp2_sub(ip[0], x3)), ip[1])
+        assert (x3, y3) == ipq
+
+
+class TestDivisionPoly:
+    def test_degree_and_lead(self, model):
+        psi5 = division_poly_5(model.a, model.b)
+        assert poly_deg(psi5) == 12
+        assert psi5[-1] == (5, 0)
+
+    def test_five_torsion_roots(self, model, endo):
+        """x-coords of actual 5-torsion points are roots of psi5."""
+        # Build a 5-torsion point: the curve order is 392*N with
+        # gcd(5, 392N)... 5 does not divide 392N, so E(F_{p^2}) has no
+        # 5-torsion — instead verify via the derived phi's kernel data.
+        d = derive_endomorphisms()
+        psi5_w = division_poly_5(d.velu5.a, d.velu5.b)
+        for xq in d.velu5.kernel_xs:
+            # Evaluate psi5 at the F_{p^4} kernel x-coordinate.
+            from repro.field.tower import F4_ZERO, f4_add, f4_mul
+
+            acc = F4_ZERO
+            power = f4((1, 0))
+            for coeff in psi5_w:
+                acc = f4_add(acc, f4_mul(f4(coeff), power))
+                power = f4_mul(power, xq)
+            assert acc == F4_ZERO
+
+    def test_x_double_against_group_law(self, model, rng):
+        p = random_subgroup_point(rng)
+        w = model.from_edwards(p)
+        w2 = model.from_edwards(p + p)
+        xd = x_double(model.a, model.b, f4(w[0]))
+        assert f4_in_base(xd) and xd[0] == w2[0]
+
+
+class TestConjPoint:
+    def test_conj_lands_on_conj_curve(self, model, rng):
+        p = random_subgroup_point(rng)
+        wx, wy = model.from_edwards(p)
+        cx, cy = conj_point((wx, wy))
+        from repro.field.fp2 import fp2_add
+
+        rhs = fp2_add(
+            fp2_add(
+                fp2_mul(fp2_sqr(cx), cx), fp2_mul(fp2_conj(model.a), cx)
+            ),
+            fp2_conj(model.b),
+        )
+        assert fp2_sqr(cy) == rhs
