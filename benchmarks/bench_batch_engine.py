@@ -1,0 +1,153 @@
+"""E-serve — batch-engine throughput vs per-request design flows.
+
+The serving layer's claim: once the flow artifacts (job-shop schedule,
+register allocation, control-word template, FSM geometry) are cached
+for the scalar-multiplication workload shape, streaming N scalars
+through one reused simulator is >= 5x the throughput of running the
+full design flow per request — the cost every request paid before the
+serving layer existed.
+
+Run modes:
+
+* ``python benchmarks/bench_batch_engine.py`` — the acceptance
+  comparison: 64 independent ``run_flow(trace_scalar_mult(k))`` calls
+  (cold, no reuse — including the one-time curve-artifact derivation a
+  fresh process pays) vs. a warm-cache batch of 64 through
+  :class:`repro.serve.BatchEngine`.  Exits non-zero below 5x.
+* ``python benchmarks/bench_batch_engine.py --smoke`` — the same
+  comparison at toy sizes (CI-friendly, ~15 s); asserts correctness
+  and that batching wins at all, not the full 5x (which needs the
+  one-time costs amortized over a real batch).
+* ``pytest benchmarks/bench_batch_engine.py`` — pytest-benchmark
+  harness over the warm path, plus the correctness cross-check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+
+def run_comparison(n: int = 64, baseline_n: int = 64, workers: int = 0, seed: int = 0x5EED):
+    """Time ``baseline_n`` independent flows vs a warm batch of ``n``.
+
+    Returns a dict with per-op timings, the engine's
+    :class:`~repro.serve.stats.BatchStats`, and the ops/s speedup.
+    Results are cross-checked bit-for-bit against the pure math layer.
+    """
+    from repro.curve.point import AffinePoint
+    from repro.curve.scalarmult import scalar_mul_fourq
+    from repro.flow import run_flow
+    from repro.serve import BatchEngine
+    from repro.trace import trace_scalar_mult
+
+    rng = random.Random(seed)
+    scalars = [rng.randrange(2**256) for _ in range(n)]
+    base_scalars = scalars[:baseline_n] + [
+        rng.randrange(2**256) for _ in range(baseline_n - n if baseline_n > n else 0)
+    ]
+
+    # Baseline: the pre-serving-layer cost.  Every request traces,
+    # builds the scheduling problem, solves it, allocates registers,
+    # assembles, and simulates from scratch.
+    t0 = time.perf_counter()
+    for k in base_scalars:
+        run_flow(trace_scalar_mult(k=k))
+    baseline_s = time.perf_counter() - t0
+    baseline_per_op = baseline_s / len(base_scalars)
+
+    # Engine: warm once (one full flow populates the artifact cache),
+    # then stream the batch through the cached fast path.
+    engine = BatchEngine()
+    engine.warm()
+    result = engine.batch_scalarmult(scalars, workers=workers)
+    stats = result.stats
+
+    point = AffinePoint.generator()
+    for k, p in zip(scalars, result.results):
+        ref = scalar_mul_fourq(k, point)
+        if (p.x, p.y) != (ref.x, ref.y):
+            raise AssertionError(f"batch result diverged from math layer for k={k:#x}")
+
+    return {
+        "n": n,
+        "baseline_n": len(base_scalars),
+        "baseline_per_op_ms": baseline_per_op * 1e3,
+        "baseline_ops_per_s": 1.0 / baseline_per_op,
+        "stats": stats,
+        "speedup": stats.ops_per_second * baseline_per_op,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes, no 5x threshold (CI sanity run)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="batch size (default 64; smoke: 6)")
+    parser.add_argument("--baseline", type=int, default=None,
+                        help="independent flows to time (default = --n; smoke: 2)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the batch (0 = serial)")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (6 if args.smoke else 64)
+    baseline_n = args.baseline if args.baseline is not None else (2 if args.smoke else n)
+
+    print(f"baseline: {baseline_n} independent run_flow calls (no reuse)...")
+    print(f"engine  : warm-cache batch of {n}"
+          + (f" across {args.workers} workers" if args.workers else " (serial)"))
+    r = run_comparison(n=n, baseline_n=baseline_n, workers=args.workers)
+    s = r["stats"]
+    print()
+    print(f"baseline : {r['baseline_ops_per_s']:6.2f} ops/s "
+          f"({r['baseline_per_op_ms']:.1f} ms/op)")
+    print(s.report())
+    print()
+    print(f"speedup (warm batch vs per-request flow): {r['speedup']:.1f}x")
+
+    threshold = 1.0 if args.smoke else 5.0
+    if r["speedup"] < threshold:
+        print(f"FAIL: speedup below {threshold:.0f}x", file=sys.stderr)
+        return 1
+    print(f"PASS: >= {threshold:.0f}x")
+    return 0
+
+
+# -- pytest-benchmark harness -----------------------------------------
+
+def test_warm_batch_throughput(benchmark):
+    """Warm-path per-op latency of the batch engine (8-scalar batch)."""
+    from repro.serve import BatchEngine
+
+    rng = random.Random(0xBE)
+    engine = BatchEngine()
+    engine.warm()
+    scalars = [rng.randrange(2**256) for _ in range(8)]
+
+    result = benchmark.pedantic(
+        engine.batch_scalarmult, args=(scalars,), rounds=3, iterations=1
+    )
+    stats = result.stats
+    print(f"\n  warm batch: {stats.ops_per_second:.1f} ops/s, "
+          f"p50 {stats.p50_latency * 1e3:.1f} ms, "
+          f"p99 {stats.p99_latency * 1e3:.1f} ms, "
+          f"hit rate {stats.cache_hit_rate:.0%}, "
+          f"{stats.cycles_per_op:.0f} cycles/op")
+    benchmark.extra_info["ops_per_second"] = round(stats.ops_per_second, 2)
+    benchmark.extra_info["cache_hit_rate"] = stats.cache_hit_rate
+    assert stats.cache_hit_rate == 1.0
+    assert stats.fallbacks == 0
+
+
+def test_batch_beats_per_request():
+    """The smoke comparison: batching must beat per-request flows."""
+    r = run_comparison(n=6, baseline_n=2, seed=0xCAFE)
+    print(f"\n  speedup at toy sizes: {r['speedup']:.1f}x")
+    assert r["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

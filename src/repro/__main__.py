@@ -7,7 +7,9 @@ Commands:
   points, Table II factors);
 * ``verify``  — run the parameter and endomorphism self-verification;
 * ``table1``  — print the CP-optimal loop-kernel schedule;
-* ``keygen``  — generate and print a FourQ keypair (demo only).
+* ``keygen``  — generate and print a FourQ keypair (demo only);
+* ``serve-bench`` — benchmark the batch scalar-multiplication engine
+  (``serve-bench [N] [--workers W] [--baseline M]``).
 """
 
 from __future__ import annotations
@@ -83,12 +85,64 @@ def cmd_keygen() -> int:
     return 0
 
 
+def cmd_serve_bench(argv=()) -> int:
+    """Benchmark the batch engine against per-request flow recompilation.
+
+    ``serve-bench [N] [--workers W] [--baseline M]``: N batched
+    scalarmults (default 16) vs M independent full-flow requests
+    (default 3, extrapolated) — the cold path every request paid before
+    the serving layer existed.
+    """
+    import argparse
+    import random
+    import time
+
+    parser = argparse.ArgumentParser(prog="repro serve-bench")
+    parser.add_argument("n", nargs="?", type=int, default=16,
+                        help="batch size (default 16)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = serial)")
+    parser.add_argument("--baseline", type=int, default=3,
+                        help="independent per-request flows to time")
+    args = parser.parse_args(list(argv))
+
+    from .flow import run_flow
+    from .serve import BatchEngine
+    from .trace import trace_scalar_mult
+
+    rng = random.Random(0x5EED)
+    scalars = [rng.randrange(2**256) for _ in range(args.n)]
+
+    print(f"Baseline: {args.baseline} independent per-request flows "
+          f"(trace -> schedule -> microcode -> simulate, no reuse)...")
+    t0 = time.perf_counter()
+    for k in scalars[: args.baseline]:
+        run_flow(trace_scalar_mult(k=k))
+    per_op_cold = (time.perf_counter() - t0) / max(1, args.baseline)
+    print(f"  {1.0 / per_op_cold:.2f} ops/s ({per_op_cold * 1e3:.0f} ms/op)")
+
+    print(f"\nBatch engine: warm-up + {args.n} scalarmults"
+          + (f" across {args.workers} workers" if args.workers else "") + "...")
+    engine = BatchEngine()
+    engine.warm()
+    result = engine.batch_scalarmult(scalars, workers=args.workers)
+    print(result.stats.report())
+
+    speedup = result.stats.ops_per_second * per_op_cold
+    print(f"\nspeedup vs per-request flow: {speedup:.1f}x")
+    return 0
+
+
 COMMANDS = {
     "summary": cmd_summary,
     "verify": cmd_verify,
     "table1": cmd_table1,
     "keygen": cmd_keygen,
+    "serve-bench": cmd_serve_bench,
 }
+
+#: Commands that parse their own trailing arguments.
+ARG_COMMANDS = {"serve-bench"}
 
 
 def main(argv=None) -> int:
@@ -99,6 +153,8 @@ def main(argv=None) -> int:
         print(f"unknown command {name!r}; choose from "
               f"{', '.join(COMMANDS)}", file=sys.stderr)
         return 2
+    if name in ARG_COMMANDS:
+        return cmd(argv[1:])
     return cmd()
 
 

@@ -34,7 +34,7 @@ trusted from memory:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..nt.lattice import babai_round, lll_reduce
 from ..nt.primes import sqrt_mod_prime
@@ -200,6 +200,14 @@ class FourQDecomposer:
         if self._dot_lams(list(scalars)) % self.n != k_mod:
             raise AssertionError("decomposition does not recompose to k")
         return Decomposition(scalars=scalars, k_mod_n=k_mod)  # type: ignore[arg-type]
+
+    def decompose_many(self, scalars: Sequence[int]) -> List[Decomposition]:
+        """Decompose a batch of scalars (the serve-layer entry point).
+
+        One lattice setup (paid at construction) amortized over the
+        whole batch; results are positionally aligned with the input.
+        """
+        return [self.decompose(k) for k in scalars]
 
     def recompose(self, scalars) -> int:
         """Inverse check: map sub-scalars back to the scalar mod N."""

@@ -283,6 +283,28 @@ def recoded_to_scalars_safe(rec) -> Tuple[int, int, int, int]:
     return recoded_to_scalars(rec)
 
 
+def prepare_scalars(
+    scalars: Sequence[int],
+    decomposer: Optional[FourQDecomposer] = None,
+) -> List[Tuple["Decomposition", RecodedScalar]]:
+    """Batch decompose + recode at one common length (serve entry point).
+
+    Returns, per input scalar, the :class:`Decomposition` (whose
+    ``k_mod_n`` also serves as a canonical dedup key for batches with
+    repeated scalars) and its :class:`RecodedScalar`.  All recodings
+    share the smallest common length, so every prepared scalar drives
+    the identical loop shape — a guaranteed flow-artifact cache hit.
+    """
+    from .decompose import Decomposition
+    from .recoding import recode_glv_sac_many, recoding_length_for
+
+    decomposer = decomposer or default_decomposer()
+    decs = decomposer.decompose_many(scalars)
+    length = recoding_length_for([d.scalars for d in decs])
+    recs = recode_glv_sac_many([d.scalars for d in decs], length=length)
+    return list(zip(decs, recs))
+
+
 # ---------------------------------------------------------------------
 # Reference scalar multiplications (paper Section II-A baselines)
 # ---------------------------------------------------------------------

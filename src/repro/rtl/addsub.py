@@ -61,6 +61,11 @@ class AddSubUnit:
     def __post_init__(self) -> None:
         self._pipe = [None] * self.depth
 
+    def reset(self) -> None:
+        """Flush the pipeline and zero the statistics counters."""
+        self._pipe = [None] * self.depth
+        self.stats = AddSubStats()
+
     def tick(
         self, issue: Optional[Tuple[OpKind, Fp2Raw, Optional[Fp2Raw]]]
     ) -> Optional[Fp2Raw]:

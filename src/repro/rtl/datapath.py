@@ -40,17 +40,74 @@ class SimulationResult:
 
 
 class DatapathSimulator:
-    """Executes microprograms cycle by cycle."""
+    """Executes microprograms cycle by cycle.
+
+    The simulator owns its datapath components (register file, pipelined
+    multiplier, adder/subtractor) and resets them between runs, so a
+    batch engine can stream many programs through one instance without
+    paying re-construction per request.  :meth:`reset` restores the
+    power-on state; :meth:`run` calls it automatically, making two
+    back-to-back runs on one simulator bit-identical to two runs on
+    fresh simulators.
+    """
 
     def __init__(self, mult_depth: int = 3, addsub_depth: int = 1):
         self.mult_depth = mult_depth
         self.addsub_depth = addsub_depth
+        self._rf = RegisterFile(size=0)
+        self._mult = PipelinedMultiplier(depth=mult_depth)
+        self._addsub = AddSubUnit(depth=addsub_depth)
+
+    def reset(self, register_count: Optional[int] = None) -> None:
+        """Restore register-file and pipeline state to power-on.
+
+        Clears every register, flushes both unit pipelines, and zeroes
+        the statistics counters.  ``register_count`` resizes the
+        register file for the next program (reusing storage when the
+        size is unchanged).
+        """
+        self._rf.reset(register_count)
+        self._mult.reset()
+        self._addsub.reset()
 
     def run(self, program: MicroProgram, check_golden: bool = True) -> SimulationResult:
-        rf = RegisterFile(size=program.register_count)
+        self.reset(program.register_count)
+        rf = self._rf
         rf.preload(program.preload)
-        mult = PipelinedMultiplier(depth=self.mult_depth)
-        addsub = AddSubUnit(depth=self.addsub_depth)
+        mult = self._mult
+        addsub = self._addsub
+
+        golden = program.golden
+        register_src = OperandSource.REGISTER
+        forward_mult = OperandSource.FORWARD_MULT
+        unary_kinds = (OpKind.NEG, OpKind.CONJ)
+
+        # Operand gathering with per-issue register dedup (a squaring
+        # fans one read port out to both multiplier inputs).
+        def gather(issue: UnitIssue, m_out, s_out, cycle: int) -> List[Fp2Raw]:
+            vals: List[Fp2Raw] = []
+            seen: Dict[int, Fp2Raw] = {}
+            for op in issue.operands:
+                if op.source is register_src:
+                    if op.register in seen:
+                        vals.append(seen[op.register])
+                    else:
+                        v = rf.read(op.register)
+                        seen[op.register] = v
+                        vals.append(v)
+                elif op.source is forward_mult:
+                    if m_out is None:
+                        raise SimulationError(
+                            f"cycle {cycle}: forward from idle multiplier"
+                        )
+                    vals.append(m_out)
+                else:
+                    if s_out is None:
+                        raise SimulationError(
+                            f"cycle {cycle}: forward from idle addsub"
+                        )
+                    vals.append(s_out)
+            return vals
 
         for word in program.words:
             rf.begin_cycle()
@@ -67,49 +124,22 @@ class DatapathSimulator:
                         f"cycle {word.cycle}: writeback from idle "
                         f"{wb.unit.value} unit"
                     )
-                if check_golden and value != program.golden[wb.uid]:
+                if check_golden and value != golden[wb.uid]:
                     raise SimulationError(
                         f"cycle {word.cycle}: v{wb.uid} mismatch: "
-                        f"{value} != {program.golden[wb.uid]}"
+                        f"{value} != {golden[wb.uid]}"
                     )
                 rf.write(wb.register, value)
 
-            # Operand gathering with per-issue register dedup (a squaring
-            # fans one read port out to both multiplier inputs).
-            def gather(issue: UnitIssue) -> List[Fp2Raw]:
-                vals: List[Fp2Raw] = []
-                seen: Dict[int, Fp2Raw] = {}
-                for op in issue.operands:
-                    if op.source is OperandSource.REGISTER:
-                        if op.register in seen:
-                            vals.append(seen[op.register])
-                        else:
-                            v = rf.read(op.register)
-                            seen[op.register] = v
-                            vals.append(v)
-                    elif op.source is OperandSource.FORWARD_MULT:
-                        if m_out is None:
-                            raise SimulationError(
-                                f"cycle {word.cycle}: forward from idle multiplier"
-                            )
-                        vals.append(m_out)
-                    else:
-                        if s_out is None:
-                            raise SimulationError(
-                                f"cycle {word.cycle}: forward from idle addsub"
-                            )
-                        vals.append(s_out)
-                return vals
-
             mult_issue = None
             if word.mult is not None:
-                a, b = gather(word.mult)
+                a, b = gather(word.mult, m_out, s_out, word.cycle)
                 mult_issue = (a, b)
             addsub_issue = None
             if word.addsub is not None:
-                vals = gather(word.addsub)
+                vals = gather(word.addsub, m_out, s_out, word.cycle)
                 kind = word.addsub.kind
-                if kind in (OpKind.NEG, OpKind.CONJ):
+                if kind in unary_kinds:
                     addsub_issue = (kind, vals[0], None)
                 else:
                     addsub_issue = (kind, vals[0], vals[1])

@@ -120,6 +120,11 @@ class PipelinedMultiplier:
     def __post_init__(self) -> None:
         self._pipe = [None] * self.depth
 
+    def reset(self) -> None:
+        """Flush the pipeline and zero the statistics counters."""
+        self._pipe = [None] * self.depth
+        self.stats = MultiplierStats()
+
     def tick(self, issue: Optional[Tuple[Fp2Raw, Fp2Raw]]) -> Optional[Fp2Raw]:
         """Advance one cycle; optionally issue (x, y); return completion."""
         result = self._pipe[-1]

@@ -32,6 +32,24 @@ class RegisterFile:
         self.max_reads_seen = 0
         self.max_writes_seen = 0
 
+    def reset(self, size: Optional[int] = None) -> None:
+        """Restore the power-on state (all registers uninitialized).
+
+        Optionally resizes the file; counters and pending writes are
+        cleared so a reused file behaves exactly like a fresh one.
+        """
+        if size is not None:
+            self.size = size
+        if len(self._data) == self.size:
+            for i in range(self.size):
+                self._data[i] = None
+        else:
+            self._data = [None] * self.size
+        self._reads_this_cycle = 0
+        self._pending_writes = []
+        self.max_reads_seen = 0
+        self.max_writes_seen = 0
+
     def preload(self, values: Dict[int, Fp2Raw]) -> None:
         for reg, val in values.items():
             self._data[reg] = val

@@ -88,6 +88,31 @@ class JobShopProblem:
     def size(self) -> int:
         return len(self.tasks)
 
+    def fingerprint(self) -> str:
+        """Deterministic digest of the problem *shape*.
+
+        Covers everything a scheduler's output depends on — task units,
+        op kinds, the dependence DAG, and the machine model — but not
+        the concrete data values or the mux-selected ``reads`` (which
+        vary with the scalar while the shape stays fixed).  Two traces
+        of the same workload shape hash identically, which is what lets
+        a flow-artifact cache reuse one schedule across requests.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        m = self.machine
+        h.update(
+            f"machine:{m.mult_latency},{m.addsub_latency},{m.read_ports},"
+            f"{m.write_ports},{int(m.forwarding)};".encode()
+        )
+        for t in self.tasks:
+            h.update(
+                f"{t.index}:{t.unit.value}:{t.kind.value}:"
+                f"{','.join(map(str, t.deps))}:{t.external_reads};".encode()
+            )
+        return h.hexdigest()
+
     def unit_load(self, unit: Unit) -> int:
         """Number of tasks on one machine — a trivial makespan bound."""
         return sum(1 for t in self.tasks if t.unit is unit)

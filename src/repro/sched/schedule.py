@@ -34,6 +34,21 @@ class Schedule:
             default=0,
         )
 
+    def stable_hash(self) -> str:
+        """Deterministic digest of (problem shape, start times, method).
+
+        Unlike Python's per-process ``hash``, this is stable across
+        runs and processes; the serve-layer artifact cache uses it to
+        prove that equal workload shapes yield byte-identical schedules.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(self.problem.fingerprint().encode())
+        h.update(f";{self.method};".encode())
+        h.update(",".join(map(str, self.start)).encode())
+        return h.hexdigest()
+
     # -- validation ----------------------------------------------------
     def validate(self) -> None:
         """Check every datapath constraint; raise ScheduleError on violation.

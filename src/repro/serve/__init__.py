@@ -1,0 +1,43 @@
+"""Serving layer: batched, cached, fan-out scalar multiplication.
+
+The design flow compiles a scalar multiplication into a verified
+microprogram; this package amortizes that compilation across many
+requests the way the paper's chip amortizes its silicon:
+
+* :class:`~repro.serve.cache.FlowArtifactCache` — one job-shop solve +
+  register allocation per workload *shape*, LRU-bounded, with hit/miss
+  counters;
+* :class:`~repro.serve.engine.BatchEngine` — ``batch_scalarmult`` /
+  ``batch_dh`` / ``batch_verify`` streaming scalars through a reused
+  :class:`~repro.rtl.datapath.DatapathSimulator`, optionally fanned out
+  across worker processes;
+* :class:`~repro.serve.stats.BatchStats` — ops/s, p50/p99 latency,
+  cache hit rate, simulated cycles per op.
+
+See ``docs/serving.md`` for the cache-keying and verification story.
+"""
+
+from .cache import FlowArtifactCache, FlowArtifacts, trace_shape_key
+from .engine import (
+    BatchEngine,
+    BatchResult,
+    batch_dh,
+    batch_scalarmult,
+    batch_verify,
+    default_engine,
+)
+from .stats import BatchStats, percentile
+
+__all__ = [
+    "BatchEngine",
+    "BatchResult",
+    "BatchStats",
+    "FlowArtifactCache",
+    "FlowArtifacts",
+    "batch_dh",
+    "batch_scalarmult",
+    "batch_verify",
+    "default_engine",
+    "percentile",
+    "trace_shape_key",
+]

@@ -1,0 +1,134 @@
+"""Flow-artifact cache: pay the job-shop solve once per workload shape.
+
+The expensive stages of the design flow — building the scheduling
+problem, solving it, and allocating registers — depend only on the
+workload *shape* (the micro-op DAG structure and the machine model),
+not on the concrete scalar or point.  FourQ's constant-time recoding
+guarantees that every 256-bit scalar produces the same shape: the same
+op sequence, the same dependencies, the same 64-iteration loop.  This
+module memoizes those per-shape artifacts behind an LRU bound with
+hit/miss counters, so a batch of N requests pays one solve + N cheap
+rebinds (new input values, new mux routings, new golden vector).
+
+Soundness does not rest on the key: every cache-hit simulation still
+golden-checks each writeback against the fresh trace and the engine
+verifies the final outputs, so a stale or colliding entry is detected
+and recomputed (counted as a fallback), never silently wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..isa.fsm import FSMController
+from ..isa.microcode import ProgramTemplate
+from ..isa.regalloc import Allocation
+from ..sched.jobshop import JobShopProblem, MachineSpec
+from ..sched.schedule import Schedule
+from ..trace.ops import MicroOp, OpKind
+from ..trace.program import TraceProgram
+
+
+def trace_shape_key(
+    trace: Sequence[MicroOp], machine: MachineSpec, scheduler: str
+) -> str:
+    """Canonical digest of a trace's structure (values excluded).
+
+    Two traces of the same workload — any scalar, any point — hash
+    identically: op kinds and dependency uids are emission-order stable,
+    and SELECT sources (whose order encodes the data-dependent chosen
+    alternative) are sorted before hashing.
+    """
+    select = OpKind.SELECT
+    parts = [
+        f"machine:{machine.mult_latency},{machine.addsub_latency},"
+        f"{machine.read_ports},{machine.write_ports},"
+        f"{int(machine.forwarding)};sched:{scheduler}"
+    ]
+    # One string-build + one hash update: this runs per request on the
+    # serving hot path, so per-op update() calls are avoided.
+    parts.extend(
+        op.kind.value + str(tuple(sorted(op.srcs)) if op.kind is select else op.srcs)
+        for op in trace
+    )
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+@dataclass
+class FlowArtifacts:
+    """The per-shape artifacts the cache carries between requests.
+
+    ``problem`` / ``schedule`` / ``alloc`` are reused directly (they are
+    shape functions); ``template`` is the pre-assembled control skeleton
+    whose :meth:`~repro.isa.microcode.ProgramTemplate.rebind` turns a
+    fresh same-shape trace into a full microprogram without re-walking
+    the task list; ``fsm`` keeps the controller geometry of the first
+    assembly, whose ROM dimensions are shape-invariant even though the
+    per-request ROM contents differ with the mux routing.
+    """
+
+    key: str
+    problem: JobShopProblem
+    schedule: Schedule
+    alloc: Allocation
+    fsm: FSMController
+    schedule_hash: str
+    template: Optional[ProgramTemplate] = None
+
+
+@dataclass
+class FlowArtifactCache:
+    """LRU-bounded cache of :class:`FlowArtifacts` keyed by shape digest."""
+
+    max_entries: int = 16
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    _entries: "OrderedDict[str, FlowArtifacts]" = field(default_factory=OrderedDict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(
+        self,
+        trace_program: TraceProgram,
+        machine: Optional[MachineSpec] = None,
+        scheduler: str = "auto",
+    ) -> str:
+        return trace_shape_key(
+            trace_program.tracer.trace, machine or MachineSpec(), scheduler
+        )
+
+    def get(self, key: str) -> Optional[FlowArtifacts]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, entry: FlowArtifacts) -> None:
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> Tuple[int, int, int]:
+        """(hits, misses, evictions) snapshot."""
+        return (self.hits, self.misses, self.evictions)

@@ -1,0 +1,475 @@
+"""Batch scalar-multiplication engine: many scalars, one compiled flow.
+
+The paper's chip amortizes its design effort across every operation it
+will ever run — the microprogram is compiled once, then scalars stream
+through the datapath.  The serving layer reproduces that economics in
+software.  A :class:`BatchEngine` owns
+
+* the one-time curve artifacts (derived endomorphisms, compiled
+  inversion-free maps, lattice decomposer) that dominate cold-start
+  cost,
+* a :class:`~repro.serve.cache.FlowArtifactCache` so the job-shop solve
+  and register allocation are paid once per workload shape,
+* a resettable :class:`~repro.rtl.datapath.DatapathSimulator` reused
+  across requests,
+
+and exposes batch entry points — :meth:`batch_scalarmult`,
+:meth:`batch_dh`, :meth:`batch_verify` — with optional
+``multiprocessing`` fan-out (chunked, order-preserving, with a serial
+fallback) and per-batch :class:`~repro.serve.stats.BatchStats`.
+
+Every simulated result is still verified bit-for-bit: the golden check
+proves each writeback against the freshly traced reference, and the
+engine re-derives the final point from the simulator's output
+registers.  Batching changes cost, never results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..curve.decompose import FourQDecomposer
+from ..curve.encoding import encode_point, decode_point
+from ..curve.endomaps import CompiledEndo, compile_endomorphisms
+from ..curve.endomorphisms import default_decomposer
+from ..curve.params import SUBGROUP_ORDER_N
+from ..curve.point import AffinePoint
+from ..dsa.fourq_dh import SmallOrderPoint
+from ..dsa.fourq_schnorr import SchnorrSignature, _challenge
+from ..flow import FlowResult, run_flow
+from ..hashes.sha256 import sha256
+from ..rtl.datapath import DatapathSimulator
+from ..sched.jobshop import MachineSpec
+from ..trace.program import trace_double_scalar_mult, trace_scalar_mult
+from .cache import FlowArtifactCache
+from .stats import BatchStats
+
+
+@dataclass
+class BatchResult:
+    """Results (input order preserved) plus the batch statistics."""
+
+    results: List[Any]
+    stats: BatchStats
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i):
+        return self.results[i]
+
+
+class BatchEngine:
+    """Streams batches of scalar multiplications through one cached flow.
+
+    Args:
+        machine: datapath timing model shared by every request.
+        scheduler: ``"auto"`` / ``"list"`` / ``"cp"`` (forwarded to the
+            flow; full scalar multiplications resolve to list
+            scheduling).
+        cache_entries: LRU bound of the flow-artifact cache (each
+            workload shape — single-base SM, double-base SM, per
+            recoding length — occupies one entry).
+        check_golden: keep the per-writeback golden check on (the
+            bit-exact proof; disabling trades verification for speed).
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineSpec] = None,
+        scheduler: str = "auto",
+        cache_entries: int = 16,
+        check_golden: bool = True,
+    ):
+        self.machine = machine or MachineSpec()
+        self.scheduler = scheduler
+        self.check_golden = check_golden
+        self.cache = FlowArtifactCache(max_entries=cache_entries)
+        self.simulator = DatapathSimulator(
+            mult_depth=self.machine.mult_latency,
+            addsub_depth=self.machine.addsub_latency,
+        )
+        self._decomposer: Optional[FourQDecomposer] = None
+        self._compiled: Optional[Tuple[CompiledEndo, CompiledEndo]] = None
+        # Last seen shape key per workload kind: hands run_flow a
+        # precomputed key so same-shape requests skip re-hashing the
+        # trace.  A stale key (shape drift) is harmless — run_flow
+        # detects the mismatch, recomputes the true key, and we re-memo.
+        self._shape_keys: Dict[str, str] = {}
+
+    # -- one-time curve artifacts -------------------------------------
+    @property
+    def decomposer(self) -> FourQDecomposer:
+        if self._decomposer is None:
+            self._decomposer = default_decomposer()
+        return self._decomposer
+
+    @property
+    def compiled_endos(self) -> Tuple[CompiledEndo, CompiledEndo]:
+        if self._compiled is None:
+            self._compiled = compile_endomorphisms()
+        return self._compiled
+
+    def warm(self, point: Optional[AffinePoint] = None) -> None:
+        """Pay every one-time cost now: curve artifacts + one full flow.
+
+        After ``warm()``, single-base requests hit the artifact cache.
+        """
+        self.scalarmult(3, point or AffinePoint.generator())
+
+    # -- single-request paths ------------------------------------------
+    def scalarmult_flow(self, k: int, point: Optional[AffinePoint] = None) -> FlowResult:
+        """Full verified flow for one [k]P (cache-aware)."""
+        # self_check=False skips the slow affine (k mod N)*P reference
+        # inside the tracer; the simulated result is still verified
+        # writeback-by-writeback against the traced values.
+        prog = trace_scalar_mult(
+            k=k,
+            point=point,
+            decomposer=self.decomposer,
+            compiled=self.compiled_endos,
+            self_check=False,
+        )
+        flow = run_flow(
+            prog,
+            machine=self.machine,
+            scheduler=self.scheduler,
+            check_golden=self.check_golden,
+            cache=self.cache,
+            simulator=self.simulator,
+            cache_key=self._shape_keys.get("scalarmult"),
+        )
+        if flow.cache_key is not None:
+            self._shape_keys["scalarmult"] = flow.cache_key
+        return flow
+
+    def scalarmult(self, k: int, point: Optional[AffinePoint] = None) -> AffinePoint:
+        """[k]P computed on the simulated datapath (bit-verified)."""
+        point = point or AffinePoint.generator()
+        if point.is_identity() or k % SUBGROUP_ORDER_N == 0:
+            # Degenerate inputs never reach the endomorphism formulas —
+            # same contract as scalar_mul_fourq.
+            return (
+                AffinePoint.identity()
+                if point.is_identity()
+                else (k % SUBGROUP_ORDER_N) * point
+            )
+        flow = self.scalarmult_flow(k, point)
+        return self._point_from_outputs(flow)
+
+    def double_scalarmult_flow(
+        self, u1: int, u2: int, p1: AffinePoint, p2: AffinePoint
+    ) -> FlowResult:
+        """Full verified flow for [u1]P1 + [u2]P2 (cache-aware)."""
+        prog = trace_double_scalar_mult(
+            u1=u1,
+            u2=u2,
+            p1=p1,
+            p2=p2,
+            decomposer=self.decomposer,
+            compiled=self.compiled_endos,
+            self_check=False,
+        )
+        flow = run_flow(
+            prog,
+            machine=self.machine,
+            scheduler=self.scheduler,
+            check_golden=self.check_golden,
+            cache=self.cache,
+            simulator=self.simulator,
+            cache_key=self._shape_keys.get("double_scalarmult"),
+        )
+        if flow.cache_key is not None:
+            self._shape_keys["double_scalarmult"] = flow.cache_key
+        return flow
+
+    @staticmethod
+    def _point_from_outputs(flow: FlowResult) -> AffinePoint:
+        out = flow.simulation.outputs
+        return AffinePoint(out["result_x"], out["result_y"], check=False)
+
+    # -- batch entry points --------------------------------------------
+    def batch_scalarmult(
+        self,
+        scalars: Sequence[int],
+        point: Optional[AffinePoint] = None,
+        points: Optional[Sequence[AffinePoint]] = None,
+        workers: int = 0,
+        dedup: bool = True,
+    ) -> BatchResult:
+        """Compute [k_i]P (shared ``point``) or [k_i]P_i (``points``).
+
+        Args:
+            scalars: the batch of scalars.
+            point: one base shared by the whole batch (default: the
+                generator).  Mutually exclusive with ``points``.
+            points: per-scalar base points (same length as ``scalars``).
+            workers: >1 fans chunks out across that many processes;
+                0/1 runs serially in-process (the default, and the
+                fallback when the platform lacks ``fork``/``spawn``).
+            dedup: compute repeated (k mod N, P) requests once.
+        """
+        if points is not None and point is not None:
+            raise ValueError("pass either point or points, not both")
+        if points is not None and len(points) != len(scalars):
+            raise ValueError("points must align with scalars")
+        base = point or AffinePoint.generator()
+        pts = list(points) if points is not None else [base] * len(scalars)
+        jobs = [("sm", (k, p)) for k, p in zip(scalars, pts)]
+        return self._run_batch(jobs, workers=workers, dedup=dedup)
+
+    def batch_dh(
+        self,
+        private: int,
+        peer_publics: Sequence[bytes],
+        workers: int = 0,
+        dedup: bool = True,
+    ) -> BatchResult:
+        """Co-factored ECDH against many peers with one private key.
+
+        Per peer: decode, clear the cofactor, reject small-order points
+        (:class:`~repro.dsa.fourq_dh.SmallOrderPoint`), run [d]P on the
+        simulated datapath, hash the encoding — byte-identical to
+        :func:`repro.dsa.fourq_dh.shared_secret`.
+        """
+        jobs = [("dh", (private, pub)) for pub in peer_publics]
+        return self._run_batch(jobs, workers=workers, dedup=dedup)
+
+    def batch_verify(
+        self,
+        items: Sequence[Tuple[AffinePoint, bytes, SchnorrSignature]],
+        workers: int = 0,
+        dedup: bool = False,
+    ) -> BatchResult:
+        """Verify many Schnorr (public, message, signature) triples.
+
+        Each verification runs the double-base workload [s]G + [N-e]Q on
+        the simulated datapath and compares against the commitment —
+        the same decision :func:`repro.dsa.fourq_schnorr.verify` makes.
+        """
+        jobs = [("verify", item) for item in items]
+        return self._run_batch(jobs, workers=workers, dedup=dedup)
+
+    # -- execution -----------------------------------------------------
+    def _execute(self, kind: str, payload) -> Tuple[Any, int, bool]:
+        """Run one job; returns (result, simulated_cycles, used_fallback)."""
+        if kind == "sm":
+            k, p = payload
+            if p.is_identity() or k % SUBGROUP_ORDER_N == 0:
+                return (k % SUBGROUP_ORDER_N) * p, 0, False
+            flow = self.scalarmult_flow(k, p)
+            return self._point_from_outputs(flow), flow.cycles, flow.fallback
+        if kind == "dh":
+            private, peer_public = payload
+            peer = decode_point(peer_public)
+            cleared = peer.clear_cofactor()
+            if cleared.is_identity():
+                raise SmallOrderPoint("peer public key has small order")
+            if private % SUBGROUP_ORDER_N == 0:
+                raise SmallOrderPoint("degenerate shared point")
+            flow = self.scalarmult_flow(private, cleared)
+            shared = self._point_from_outputs(flow)
+            if shared.is_identity():
+                raise SmallOrderPoint("degenerate shared point")
+            return sha256(encode_point(shared)), flow.cycles, flow.fallback
+        if kind == "verify":
+            public, message, sig = payload
+            try:
+                commit = AffinePoint(sig.commit_x, sig.commit_y)
+            except ValueError:
+                return False, 0, False
+            if not (1 <= sig.s < SUBGROUP_ORDER_N):
+                return False, 0, False
+            e = _challenge(commit, public, message)
+            u2 = SUBGROUP_ORDER_N - e
+            if public.is_identity() or u2 % SUBGROUP_ORDER_N == 0:
+                # Degenerate double-base shapes collapse to single-base.
+                lhs = self.scalarmult(sig.s, AffinePoint.generator())
+                return lhs == commit, 0, False
+            flow = self.double_scalarmult_flow(
+                sig.s, u2, AffinePoint.generator(), public
+            )
+            return self._point_from_outputs(flow) == commit, flow.cycles, flow.fallback
+        raise ValueError(f"unknown job kind {kind!r}")
+
+    @staticmethod
+    def _job_key(kind: str, payload) -> Optional[tuple]:
+        """Canonical dedup key, or None when the job must run as-is."""
+        if kind == "sm":
+            k, p = payload
+            return (kind, k % SUBGROUP_ORDER_N, p.x, p.y)
+        if kind == "dh":
+            private, pub = payload
+            return (kind, private % SUBGROUP_ORDER_N, bytes(pub))
+        return None
+
+    def _run_serial(self, jobs: Sequence[Tuple[str, Any]], dedup: bool) -> Tuple[List[Any], BatchStats]:
+        stats = BatchStats()
+        seen: Dict[tuple, Any] = {}
+        results: List[Any] = []
+        hits0, misses0, _ = self.cache.counters()
+        for kind, payload in jobs:
+            key = self._job_key(kind, payload) if dedup else None
+            if key is not None and key in seen:
+                results.append(seen[key])
+                stats.ops += 1
+                continue
+            t0 = time.perf_counter()
+            result, cycles, used_fallback = self._execute(kind, payload)
+            stats.latencies.append(time.perf_counter() - t0)
+            stats.simulated_cycles += cycles
+            stats.fallbacks += int(used_fallback)
+            stats.ops += 1
+            if key is not None:
+                seen[key] = result
+            results.append(result)
+        hits1, misses1, _ = self.cache.counters()
+        stats.cache_hits = hits1 - hits0
+        stats.cache_misses = misses1 - misses0
+        return results, stats
+
+    def _run_batch(
+        self, jobs: Sequence[Tuple[str, Any]], workers: int, dedup: bool
+    ) -> BatchResult:
+        t0 = time.perf_counter()
+        if workers and workers > 1 and len(jobs) > 1:
+            try:
+                results, stats = self._run_parallel(jobs, workers, dedup)
+            except (ImportError, OSError):
+                # Pools unavailable (restricted platform): serial fallback.
+                results, stats = self._run_serial(jobs, dedup)
+        else:
+            results, stats = self._run_serial(jobs, dedup)
+        stats.wall_seconds = time.perf_counter() - t0
+        return BatchResult(results=results, stats=stats)
+
+    def _run_parallel(
+        self, jobs: Sequence[Tuple[str, Any]], workers: int, dedup: bool
+    ) -> Tuple[List[Any], BatchStats]:
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = mp.get_context("spawn")
+
+        workers = min(workers, len(jobs))
+        chunks = _chunk(list(enumerate(jobs)), workers)
+        config = _EngineConfig(
+            mult_latency=self.machine.mult_latency,
+            addsub_latency=self.machine.addsub_latency,
+            read_ports=self.machine.read_ports,
+            write_ports=self.machine.write_ports,
+            forwarding=self.machine.forwarding,
+            scheduler=self.scheduler,
+            cache_entries=self.cache.max_entries,
+            check_golden=self.check_golden,
+            dedup=dedup,
+        )
+        stats = BatchStats(workers=workers)
+        ordered: List[Any] = [None] * len(jobs)
+        with ctx.Pool(processes=workers, initializer=_worker_init, initargs=(config,)) as pool:
+            for indices, chunk_results, chunk_stats in pool.imap_unordered(
+                _worker_run_chunk, chunks
+            ):
+                for i, r in zip(indices, chunk_results):
+                    ordered[i] = r
+                stats.merge(chunk_stats)
+        stats.ops = len(jobs)
+        return ordered, stats
+
+
+# -- worker fan-out machinery ------------------------------------------
+
+
+@dataclass(frozen=True)
+class _EngineConfig:
+    """Picklable construction recipe for worker-side engines."""
+
+    mult_latency: int
+    addsub_latency: int
+    read_ports: int
+    write_ports: int
+    forwarding: bool
+    scheduler: str
+    cache_entries: int
+    check_golden: bool
+    dedup: bool
+
+
+_WORKER_ENGINE: Optional[BatchEngine] = None
+_WORKER_DEDUP: bool = True
+
+
+def _worker_init(config: _EngineConfig) -> None:
+    global _WORKER_ENGINE, _WORKER_DEDUP
+    _WORKER_ENGINE = BatchEngine(
+        machine=MachineSpec(
+            mult_latency=config.mult_latency,
+            addsub_latency=config.addsub_latency,
+            read_ports=config.read_ports,
+            write_ports=config.write_ports,
+            forwarding=config.forwarding,
+        ),
+        scheduler=config.scheduler,
+        cache_entries=config.cache_entries,
+        check_golden=config.check_golden,
+    )
+    _WORKER_DEDUP = config.dedup
+
+
+def _worker_run_chunk(chunk):
+    indices = [i for i, _ in chunk]
+    jobs = [job for _, job in chunk]
+    assert _WORKER_ENGINE is not None
+    results, stats = _WORKER_ENGINE._run_serial(jobs, _WORKER_DEDUP)
+    return indices, results, stats
+
+
+def _chunk(items: List, n: int) -> List[List]:
+    """Split into n round-robin-balanced contiguous chunks."""
+    n = max(1, n)
+    size = (len(items) + n - 1) // n
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+# -- module-level convenience API --------------------------------------
+
+_DEFAULT_ENGINE: Optional[BatchEngine] = None
+
+
+def default_engine() -> BatchEngine:
+    """The process-wide shared engine (lazily constructed)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = BatchEngine()
+    return _DEFAULT_ENGINE
+
+
+def batch_scalarmult(
+    scalars: Sequence[int],
+    point: Optional[AffinePoint] = None,
+    points: Optional[Sequence[AffinePoint]] = None,
+    workers: int = 0,
+) -> BatchResult:
+    """[k_i]P for a batch of scalars on the shared default engine."""
+    return default_engine().batch_scalarmult(
+        scalars, point=point, points=points, workers=workers
+    )
+
+
+def batch_dh(private: int, peer_publics: Sequence[bytes], workers: int = 0) -> BatchResult:
+    """Batched co-factored ECDH on the shared default engine."""
+    return default_engine().batch_dh(private, peer_publics, workers=workers)
+
+
+def batch_verify(
+    items: Sequence[Tuple[AffinePoint, bytes, SchnorrSignature]], workers: int = 0
+) -> BatchResult:
+    """Batched Schnorr verification on the shared default engine."""
+    return default_engine().batch_verify(items, workers=workers)

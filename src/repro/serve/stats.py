@@ -1,0 +1,96 @@
+"""Throughput/latency accounting for the batch scalar-multiplication engine.
+
+A :class:`BatchStats` summarizes one batch: wall-clock throughput,
+per-operation latency quantiles, flow-artifact cache effectiveness, and
+the simulated hardware cost (cycles per operation) — the numbers a
+serving deployment watches, next to the paper's own headline (one SM in
+10.1 µs on the fabricated chip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for an empty list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+@dataclass
+class BatchStats:
+    """Aggregated statistics for one batch call.
+
+    Attributes:
+        ops: operations completed.
+        wall_seconds: end-to-end wall-clock time for the batch.
+        latencies: per-op latency samples in seconds (one per op; in
+            worker fan-out mode these are measured inside the workers).
+        cache_hits / cache_misses: flow-artifact cache counters
+            attributable to this batch.
+        fallbacks: ops where the cached fast path failed a check and
+            the engine recomputed the full flow (self-healing path).
+        simulated_cycles: total datapath cycles across the batch.
+        workers: worker processes used (0 = serial in-process).
+    """
+
+    ops: int = 0
+    wall_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fallbacks: int = 0
+    simulated_cycles: int = 0
+    workers: int = 0
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def p50_latency(self) -> float:
+        return percentile(self.latencies, 50)
+
+    @property
+    def p99_latency(self) -> float:
+        return percentile(self.latencies, 99)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def cycles_per_op(self) -> float:
+        return self.simulated_cycles / self.ops if self.ops else 0.0
+
+    def merge(self, other: "BatchStats") -> None:
+        """Fold a worker's partial stats into this aggregate."""
+        self.ops += other.ops
+        self.latencies.extend(other.latencies)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.fallbacks += other.fallbacks
+        self.simulated_cycles += other.simulated_cycles
+
+    def report(self) -> str:
+        lines = [
+            f"ops             : {self.ops}"
+            + (f" (x{self.workers} workers)" if self.workers else ""),
+            f"wall time       : {self.wall_seconds * 1e3:.1f} ms",
+            f"throughput      : {self.ops_per_second:.2f} ops/s",
+            f"latency p50/p99 : {self.p50_latency * 1e3:.1f} / "
+            f"{self.p99_latency * 1e3:.1f} ms",
+            f"cache hit rate  : {self.cache_hit_rate:.0%} "
+            f"({self.cache_hits} hit / {self.cache_misses} miss"
+            + (f" / {self.fallbacks} fallback)" if self.fallbacks else ")"),
+            f"cycles per op   : {self.cycles_per_op:.0f} simulated",
+        ]
+        return "\n".join(lines)

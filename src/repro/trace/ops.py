@@ -16,8 +16,7 @@ preloaded into the register file before the computation starts.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import NamedTuple, Tuple
 
 from ..field.fp2 import Fp2Raw
 
@@ -62,9 +61,13 @@ UNIT_OF: dict = {
 }
 
 
-@dataclass(frozen=True)
-class MicroOp:
+class MicroOp(NamedTuple):
     """One recorded micro-operation.
+
+    A NamedTuple rather than a (frozen) dataclass: a full trace emits
+    several thousand of these per request on the serving hot path, and
+    tuple construction is markedly cheaper than ``object.__setattr__``
+    per field.  Still immutable, hashable, and value-compared.
 
     Attributes:
         uid: position in the trace (also the SSA value id it defines).

@@ -15,8 +15,7 @@ them appends :class:`MicroOp` records with SSA-style dependencies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 from ..field.fp2 import (
     Fp2Raw,
@@ -30,9 +29,12 @@ from ..field.fp2 import (
 from .ops import MicroOp, OpKind, Unit
 
 
-@dataclass(frozen=True)
-class TracedValue:
-    """An SSA value handle: trace uid plus the concrete value."""
+class TracedValue(NamedTuple):
+    """An SSA value handle: trace uid plus the concrete value.
+
+    A NamedTuple (not a frozen dataclass) — one is constructed per
+    emitted micro-op, so construction cost matters on the serving path.
+    """
 
     uid: int
     value: Fp2Raw

@@ -124,3 +124,50 @@ class TestRegisterFile:
         rf.begin_cycle()
         with pytest.raises(RuntimeError):
             rf.read(1)
+
+
+class TestSimulatorReuse:
+    """reset() regression: a reused simulator must equal fresh ones.
+
+    The batch engine streams every request through one
+    DatapathSimulator instance; any state leaking across run() calls
+    (register contents, pipeline slots, port-usage high-water marks)
+    would corrupt the second request or its statistics.
+    """
+
+    def _programs(self):
+        import random
+
+        from repro.flow import run_flow
+        from repro.trace import trace_loop_iteration
+
+        flows = [
+            run_flow(trace_loop_iteration(random.Random(seed)))
+            for seed in (0xAB, 0xCD)
+        ]
+        return [(f.microprogram, f.simulation) for f in flows]
+
+    def test_back_to_back_runs_match_fresh_simulators(self):
+        from repro.rtl.datapath import DatapathSimulator
+
+        programs = self._programs()
+        shared = DatapathSimulator()
+        for microprogram, fresh in programs:
+            sim = shared.run(microprogram, check_golden=True)
+            assert sim.outputs == fresh.outputs
+            assert sim.cycles == fresh.cycles
+            assert sim.register_count == fresh.register_count
+            assert sim.max_reads_per_cycle == fresh.max_reads_per_cycle
+            assert sim.max_writes_per_cycle == fresh.max_writes_per_cycle
+            assert sim.mult_stats == fresh.mult_stats
+            assert sim.addsub_stats == fresh.addsub_stats
+
+    def test_same_program_twice_is_deterministic(self):
+        from repro.rtl.datapath import DatapathSimulator
+
+        (microprogram, fresh), _ = self._programs()
+        shared = DatapathSimulator()
+        first = shared.run(microprogram, check_golden=True)
+        second = shared.run(microprogram, check_golden=True)
+        assert first.outputs == second.outputs == fresh.outputs
+        assert first.cycles == second.cycles == fresh.cycles

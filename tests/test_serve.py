@@ -1,0 +1,212 @@
+"""Properties of the serving layer: cache, batch engine, statistics.
+
+The contract under test: caching and batching change *cost*, never
+*results*.  Same-shape requests must produce the identical schedule
+hash and byte-identical microprograms whether they take the cache-miss
+or the cache-hit path; a poisoned cache entry must fall back to the
+full flow (counted, self-healing) and still return the right answer.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.curve.params import SUBGROUP_ORDER_N
+from repro.curve.point import AffinePoint, random_subgroup_point
+from repro.curve.scalarmult import scalar_mul_fourq
+from repro.flow import run_flow
+from repro.sched.jobshop import MachineSpec
+from repro.serve import BatchEngine
+from repro.serve.cache import FlowArtifactCache, FlowArtifacts, trace_shape_key
+from repro.trace import trace_loop_iteration, trace_scalar_mult
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = BatchEngine()
+    eng.warm()
+    return eng
+
+
+def _stub_entry(key: str) -> FlowArtifacts:
+    return FlowArtifacts(
+        key=key, problem=None, schedule=None, alloc=None, fsm=None, schedule_hash=""
+    )
+
+
+class TestShapeKey:
+    def test_same_shape_same_key(self):
+        """Any scalar, any point: one workload shape, one key."""
+        cache = FlowArtifactCache()
+        rng = random.Random(7)
+        keys = {
+            cache.key_for(
+                trace_scalar_mult(
+                    k=rng.randrange(1, SUBGROUP_ORDER_N),
+                    point=random_subgroup_point(rng),
+                    self_check=False,
+                )
+            )
+            for _ in range(3)
+        }
+        assert len(keys) == 1
+
+    def test_key_separates_shapes_and_machines(self):
+        prog = trace_loop_iteration(random.Random(1))
+        trace = prog.tracer.trace
+        base = trace_shape_key(trace, MachineSpec(), "auto")
+        assert trace_shape_key(trace, MachineSpec(), "auto") == base
+        assert trace_shape_key(trace, MachineSpec(mult_latency=5), "auto") != base
+        assert trace_shape_key(trace, MachineSpec(), "list") != base
+        # Different inputs, same workload: the key ignores values.
+        other = trace_loop_iteration(random.Random(2))
+        assert trace_shape_key(other.tracer.trace, MachineSpec(), "auto") == base
+        # Different operand routing (negate=False wires the add straight
+        # to the table inputs) is a different DAG, hence a different key.
+        rerouted = trace_loop_iteration(random.Random(2), negate=False)
+        assert trace_shape_key(rerouted.tracer.trace, MachineSpec(), "auto") != base
+
+
+class TestHitMissEquivalence:
+    def test_hit_path_matches_full_flow_byte_for_byte(self):
+        """Miss, hit, and uncached flows agree on every artifact."""
+        cache = FlowArtifactCache()
+        rng = random.Random(0xA11CE)
+        miss = run_flow(trace_loop_iteration(rng), cache=cache)
+        assert not miss.cache_hit
+
+        rng2 = random.Random(0xB0B)
+        prog = trace_loop_iteration(rng2)
+        hit = run_flow(prog, cache=cache)
+        assert hit.cache_hit and not hit.fallback
+        assert hit.schedule.stable_hash() == miss.schedule.stable_hash()
+        assert hit.fsm.rom_kilobits == miss.fsm.rom_kilobits
+
+        # Re-trace the same workload and run it with no cache at all:
+        # the hit-path microprogram must equal assemble()'s output.
+        plain = run_flow(trace_loop_iteration(random.Random(0xB0B)))
+        assert hit.microprogram == plain.microprogram
+        assert hit.simulation.outputs == plain.simulation.outputs
+
+    def test_property_loop_many_workloads(self):
+        """Seeded sweep: every cache-hit simulation equals the uncached one."""
+        cache = FlowArtifactCache()
+        # Prime both workload shapes (negate toggles the operand routing).
+        run_flow(trace_loop_iteration(random.Random(0)), cache=cache)
+        run_flow(trace_loop_iteration(random.Random(0), negate=False), cache=cache)
+        for seed in range(1, 5):
+            negate = bool(seed % 2)
+            cached = run_flow(
+                trace_loop_iteration(random.Random(seed), negate=negate), cache=cache
+            )
+            plain = run_flow(trace_loop_iteration(random.Random(seed), negate=negate))
+            assert cached.cache_hit
+            assert cached.microprogram == plain.microprogram
+            assert cached.simulation.outputs == plain.simulation.outputs
+        assert cache.counters() == (4, 2, 0)
+
+
+class TestLRUBound:
+    def test_eviction_and_counters(self):
+        cache = FlowArtifactCache(max_entries=2)
+        for i in range(3):
+            cache.put(_stub_entry(f"k{i}"))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("k0") is None  # evicted, counted as a miss
+        assert cache.counters() == (0, 1, 1)
+
+    def test_lru_order_respects_recency(self):
+        cache = FlowArtifactCache(max_entries=2)
+        cache.put(_stub_entry("a"))
+        cache.put(_stub_entry("b"))
+        assert cache.get("a") is not None  # refresh a
+        cache.put(_stub_entry("c"))  # must evict b, not a
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+class TestFallbackSelfHealing:
+    def test_poisoned_entry_recovers(self, engine):
+        """A corrupted cached template is detected, recomputed, replaced."""
+        key = engine._shape_keys["scalarmult"]
+        entry = engine.cache._entries[key]
+        bad_template = dataclasses.replace(
+            entry.template, n_trace=entry.template.n_trace + 1
+        )
+        engine.cache.put(dataclasses.replace(entry, template=bad_template))
+
+        k = 0xFA11BACC
+        flow = engine.scalarmult_flow(k, AffinePoint.generator())
+        assert flow.fallback and not flow.cache_hit
+        got = engine._point_from_outputs(flow)
+        ref = scalar_mul_fourq(k, AffinePoint.generator())
+        assert (got.x, got.y) == (ref.x, ref.y)
+
+        # Self-healed: the very next request takes the fast path again.
+        flow2 = engine.scalarmult_flow(k + 1, AffinePoint.generator())
+        assert flow2.cache_hit and not flow2.fallback
+
+    def test_stale_engine_key_is_harmless(self, engine):
+        """A wrong memoized shape key re-resolves without breaking results."""
+        engine._shape_keys["scalarmult"] = "0" * 64
+        k = 0x57A1E
+        got = engine.scalarmult(k)
+        ref = scalar_mul_fourq(k, AffinePoint.generator())
+        assert (got.x, got.y) == (ref.x, ref.y)
+        # The memo healed to the true key.
+        assert engine._shape_keys["scalarmult"] != "0" * 64
+        assert engine.scalarmult_flow(k + 1).cache_hit
+
+
+class TestBatchSemantics:
+    def test_dedup_computes_once(self, engine):
+        k1, k2 = 0xD00D, 0xBEEF
+        result = engine.batch_scalarmult([k1, k1, k2, k1 + SUBGROUP_ORDER_N])
+        assert result.stats.ops == 4
+        # Three of the four jobs share one canonical (k mod N, P) key.
+        assert len(result.stats.latencies) == 2
+        assert (result[0].x, result[0].y) == (result[1].x, result[1].y)
+        assert (result[0].x, result[0].y) == (result[3].x, result[3].y)
+        ref = scalar_mul_fourq(k2, AffinePoint.generator())
+        assert (result[2].x, result[2].y) == (ref.x, ref.y)
+
+    def test_dedup_off_executes_all(self, engine):
+        result = engine.batch_scalarmult([5, 5], dedup=False)
+        assert len(result.stats.latencies) == 2
+
+    def test_batch_dh_matches_reference(self, engine):
+        from repro.dsa import fourq_dh
+
+        rng = random.Random(0xD4)
+        me = fourq_dh.generate_keypair(rng)
+        peers = [fourq_dh.generate_keypair(rng) for _ in range(2)]
+        batch = engine.batch_dh(me.private, [p.public_bytes for p in peers])
+        for peer, got in zip(peers, batch):
+            assert got == fourq_dh.shared_secret(me, peer.public_bytes)
+
+    def test_batch_verify_rejects_corruption(self, engine):
+        from dataclasses import replace
+
+        from repro.dsa import fourq_schnorr
+
+        rng = random.Random(0x5160)
+        key = fourq_schnorr.generate_keypair(rng)
+        sig = fourq_schnorr.sign(key, b"serve", nonce=12345)
+        bad = replace(sig, s=(sig.s + 1) % SUBGROUP_ORDER_N)
+        verdicts = engine.batch_verify(
+            [(key.public, b"serve", sig), (key.public, b"serve", bad)]
+        )
+        assert list(verdicts) == [True, False]
+
+    def test_stats_accounting(self, engine):
+        result = engine.batch_scalarmult([11, 12, 13], dedup=False)
+        s = result.stats
+        assert s.ops == 3
+        assert s.cache_hit_rate == 1.0  # engine is warm
+        assert s.fallbacks == 0
+        assert s.simulated_cycles > 0 and s.cycles_per_op > 0
+        assert s.wall_seconds >= sum(s.latencies) * 0.5
+        assert "ops/s" in s.report()
