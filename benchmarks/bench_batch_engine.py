@@ -140,6 +140,11 @@ def test_warm_batch_throughput(benchmark):
     benchmark.extra_info["cache_hit_rate"] = stats.cache_hit_rate
     assert stats.cache_hit_rate == 1.0
     assert stats.fallbacks == 0
+    # A clean batch reports a clean isolation picture: no errors, no
+    # chunk recoveries.
+    assert stats.errors == 0 and stats.errors_by_kind == {}
+    assert stats.requeues == 0 and stats.retries == 0
+    assert result.ok_count == len(scalars)
 
 
 def test_batch_beats_per_request():

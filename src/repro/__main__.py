@@ -9,7 +9,7 @@ Commands:
 * ``table1``  — print the CP-optimal loop-kernel schedule;
 * ``keygen``  — generate and print a FourQ keypair (demo only);
 * ``serve-bench`` — benchmark the batch scalar-multiplication engine
-  (``serve-bench [N] [--workers W] [--baseline M]``).
+  (``serve-bench [N] [--workers W] [--baseline M] [--poison R]``).
 """
 
 from __future__ import annotations
@@ -88,10 +88,13 @@ def cmd_keygen() -> int:
 def cmd_serve_bench(argv=()) -> int:
     """Benchmark the batch engine against per-request flow recompilation.
 
-    ``serve-bench [N] [--workers W] [--baseline M]``: N batched
-    scalarmults (default 16) vs M independent full-flow requests
+    ``serve-bench [N] [--workers W] [--baseline M] [--poison R]``: N
+    batched scalarmults (default 16) vs M independent full-flow requests
     (default 3, extrapolated) — the cold path every request paid before
-    the serving layer existed.
+    the serving layer existed.  ``--poison R`` additionally runs a
+    batched-DH fault-isolation benchmark with a ratio R of invalid peer
+    keys injected (small-order and malformed encodings) and reports the
+    isolation overhead per good operation.
     """
     import argparse
     import random
@@ -104,7 +107,13 @@ def cmd_serve_bench(argv=()) -> int:
                         help="worker processes (0 = serial)")
     parser.add_argument("--baseline", type=int, default=3,
                         help="independent per-request flows to time")
+    parser.add_argument("--poison", type=float, default=0.0, metavar="R",
+                        help="inject ratio R in (0, 1) of invalid DH "
+                             "requests and report isolation overhead")
     args = parser.parse_args(list(argv))
+    if not 0.0 <= args.poison < 1.0:
+        print("--poison must be in [0, 1)", file=sys.stderr)
+        return 2
 
     from .flow import run_flow
     from .serve import BatchEngine
@@ -130,6 +139,42 @@ def cmd_serve_bench(argv=()) -> int:
 
     speedup = result.stats.ops_per_second * per_op_cold
     print(f"\nspeedup vs per-request flow: {speedup:.1f}x")
+
+    if args.poison:
+        from .curve.encoding import encode_point
+        from .curve.point import AffinePoint
+        from .dsa import fourq_dh
+
+        n_bad = max(1, round(args.n * args.poison))
+        me = fourq_dh.generate_keypair(rng)
+        clean_pubs = [
+            fourq_dh.generate_keypair(rng).public_bytes for _ in range(args.n)
+        ]
+        print(f"\nPoison benchmark: {args.n} DH requests, clean batch first...")
+        clean = engine.batch_dh(me.private, clean_pubs, workers=args.workers)
+
+        poisoned_pubs = list(clean_pubs)
+        small_order = encode_point(AffinePoint.identity())
+        for j, pos in enumerate(sorted(rng.sample(range(args.n), n_bad))):
+            # Alternate the two rejection paths: small-order points
+            # (decode fine, die at cofactor clearing) and garbage bytes
+            # (die in the decoder).
+            poisoned_pubs[pos] = small_order if j % 2 == 0 else b"\xff" * 32
+        print(f"Injecting {n_bad}/{args.n} invalid peer keys...")
+        poisoned = engine.batch_dh(me.private, poisoned_pubs, workers=args.workers)
+        print(poisoned.stats.report())
+
+        ok = poisoned.ok_count
+        clean_per_op = clean.stats.wall_seconds / max(1, len(clean))
+        poisoned_per_ok = poisoned.stats.wall_seconds / max(1, ok)
+        overhead = poisoned_per_ok / clean_per_op - 1.0
+        print(f"good results       : {ok}/{args.n}")
+        print(f"isolation overhead : {overhead:+.1%} per good op vs clean batch")
+        if ok != args.n - n_bad or len(poisoned.errors) != n_bad:
+            print("FAIL: poisoned batch did not isolate the injected faults",
+                  file=sys.stderr)
+            return 1
+        print("PASS: every injected fault isolated, every good result returned")
     return 0
 
 

@@ -100,7 +100,13 @@ def _verify_outputs(
     names = _output_names(trace_program)
     for uid in tracer.outputs:
         name = names.get(uid) or f"v{uid}"
-        if name in sim.outputs and sim.outputs[name] != tracer.trace[uid].value:
+        if name not in sim.outputs:
+            # A renamed or dropped output must not silently escape the
+            # end-to-end check.
+            raise SimulationError(
+                f"output {name} missing from the simulation outputs"
+            )
+        if sim.outputs[name] != tracer.trace[uid].value:
             raise SimulationError(
                 f"output {name} diverged from the traced reference"
             )
@@ -161,6 +167,9 @@ def run_flow(
                 # Shape-key collision or stale artifacts: recompute the
                 # full flow and replace the entry.  Correctness is never
                 # at stake — the golden/output checks caught the issue.
+                # The get() above counted a hit, but the fast path did
+                # not complete: reclassify it so hit_rate stays honest.
+                cache.demote_hit()
                 true_key = cache.key_for(trace_program, machine, scheduler)
                 if true_key == key:
                     # The entry under this key is genuinely bad.

@@ -1,4 +1,4 @@
-"""Serving layer: batched, cached, fan-out scalar multiplication.
+"""Serving layer: batched, cached, fault-isolated scalar multiplication.
 
 The design flow compiles a scalar multiplication into a verified
 microprogram; this package amortizes that compilation across many
@@ -10,11 +10,16 @@ requests the way the paper's chip amortizes its silicon:
 * :class:`~repro.serve.engine.BatchEngine` — ``batch_scalarmult`` /
   ``batch_dh`` / ``batch_verify`` streaming scalars through a reused
   :class:`~repro.rtl.datapath.DatapathSimulator`, optionally fanned out
-  across worker processes;
+  across worker processes with chunk-level crash containment;
+* :class:`~repro.serve.faults.Ok` / :class:`~repro.serve.faults.Failed`
+  — typed per-item outcomes: one poisoned request costs one error slot,
+  never the batch (``strict=True`` restores raise-on-first-error);
 * :class:`~repro.serve.stats.BatchStats` — ops/s, p50/p99 latency,
-  cache hit rate, simulated cycles per op.
+  cache hit rate, simulated cycles per op, ``errors_by_kind``,
+  requeue/retry counters.
 
-See ``docs/serving.md`` for the cache-keying and verification story.
+See ``docs/serving.md`` for the cache-keying, verification, and error
+contract stories.
 """
 
 from .cache import FlowArtifactCache, FlowArtifacts, trace_shape_key
@@ -26,17 +31,22 @@ from .engine import (
     batch_verify,
     default_engine,
 )
+from .faults import BatchItemError, Failed, Ok, classify_exception
 from .stats import BatchStats, percentile
 
 __all__ = [
     "BatchEngine",
+    "BatchItemError",
     "BatchResult",
     "BatchStats",
+    "Failed",
     "FlowArtifactCache",
     "FlowArtifacts",
+    "Ok",
     "batch_dh",
     "batch_scalarmult",
     "batch_verify",
+    "classify_exception",
     "default_engine",
     "percentile",
     "trace_shape_key",

@@ -87,6 +87,7 @@ class FlowArtifactCache:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    fallbacks: int = 0
     _entries: "OrderedDict[str, FlowArtifacts]" = field(default_factory=OrderedDict)
 
     def __len__(self) -> int:
@@ -117,6 +118,20 @@ class FlowArtifactCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def demote_hit(self) -> None:
+        """Reclassify the most recent hit as a failed fast path.
+
+        ``run_flow`` calls this when a :meth:`get` succeeded but the
+        rebind or a verification check rejected the artifacts and the
+        full flow had to be recomputed.  The request did not complete
+        through the fast path, so it must count as a miss (plus a
+        ``fallbacks`` tick), keeping :attr:`hit_rate` an honest measure
+        of successful fast-path completions.
+        """
+        self.hits = max(0, self.hits - 1)
+        self.misses += 1
+        self.fallbacks += 1
 
     def invalidate(self, key: str) -> None:
         self._entries.pop(key, None)

@@ -15,8 +15,16 @@ software.  A :class:`BatchEngine` owns
 
 and exposes batch entry points — :meth:`batch_scalarmult`,
 :meth:`batch_dh`, :meth:`batch_verify` — with optional
-``multiprocessing`` fan-out (chunked, order-preserving, with a serial
-fallback) and per-batch :class:`~repro.serve.stats.BatchStats`.
+``multiprocessing`` fan-out (balanced chunks, order-preserving, with a
+serial fallback) and per-batch :class:`~repro.serve.stats.BatchStats`.
+
+Fault isolation is a first-class layer: a rejected request (small-order
+peer key, malformed encoding, bad signature material) costs exactly one
+:class:`~repro.serve.faults.Failed` slot in the result, never the batch.
+``strict=True`` restores raise-on-first-error.  In worker fan-out mode a
+chunk whose worker process dies or exceeds its time budget is requeued
+and re-run serially in the parent (bounded, order still preserved), so
+one crashed worker cannot discard results that were already computed.
 
 Every simulated result is still verified bit-for-bit: the golden check
 proves each writeback against the freshly traced reference, and the
@@ -26,8 +34,10 @@ registers.  Batching changes cost, never results.
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..curve.decompose import FourQDecomposer
@@ -44,12 +54,28 @@ from ..rtl.datapath import DatapathSimulator
 from ..sched.jobshop import MachineSpec
 from ..trace.program import trace_double_scalar_mult, trace_scalar_mult
 from .cache import FlowArtifactCache
+from .faults import Failed, Ok, classify_exception
 from .stats import BatchStats
+
+#: Each requeued chunk is recovered by at most this many re-executions
+#: (the recovery runs serially in the parent, where per-item isolation
+#: cannot lose the rest of the batch, so one attempt always completes).
+MAX_CHUNK_RETRIES = 1
 
 
 @dataclass
 class BatchResult:
-    """Results (input order preserved) plus the batch statistics."""
+    """Per-item outcomes (input order preserved) plus batch statistics.
+
+    ``results`` holds the raw success value in each successful slot —
+    callers that index or iterate see plain points/digests/booleans,
+    exactly as before fault isolation existed — and the typed
+    :class:`~repro.serve.faults.Failed` envelope in the slot of each
+    isolated failure.  Use :attr:`errors` / :attr:`ok_count` to inspect
+    the failure picture, :meth:`raise_any` / :meth:`unwrap` to opt back
+    into exception semantics, and :attr:`outcomes` for a uniform
+    ``Ok``/``Failed`` view.
+    """
 
     results: List[Any]
     stats: BatchStats
@@ -62,6 +88,35 @@ class BatchResult:
 
     def __getitem__(self, i):
         return self.results[i]
+
+    @property
+    def errors(self) -> List[Failed]:
+        """The failed envelopes, in input order (``.index`` is the slot)."""
+        return [r for r in self.results if isinstance(r, Failed)]
+
+    @property
+    def ok_count(self) -> int:
+        """Items that completed successfully."""
+        return len(self.results) - len(self.errors)
+
+    @property
+    def outcomes(self) -> List[Any]:
+        """Uniform per-item view: ``Ok(value, index)`` or ``Failed``."""
+        return [
+            r if isinstance(r, Failed) else Ok(value=r, index=i)
+            for i, r in enumerate(self.results)
+        ]
+
+    def raise_any(self) -> None:
+        """Raise the first (lowest-index) failure as its exception class."""
+        errors = self.errors
+        if errors:
+            raise errors[0].to_exception()
+
+    def unwrap(self) -> List[Any]:
+        """All raw values; raises the first failure if any item failed."""
+        self.raise_any()
+        return list(self.results)
 
 
 class BatchEngine:
@@ -77,6 +132,9 @@ class BatchEngine:
             recoding length — occupies one entry).
         check_golden: keep the per-writeback golden check on (the
             bit-exact proof; disabling trades verification for speed).
+        chunk_timeout: optional per-chunk time budget (seconds) in
+            worker fan-out mode; a chunk that exceeds it is requeued and
+            re-run serially in the parent (``None`` = wait forever).
     """
 
     def __init__(
@@ -85,10 +143,12 @@ class BatchEngine:
         scheduler: str = "auto",
         cache_entries: int = 16,
         check_golden: bool = True,
+        chunk_timeout: Optional[float] = None,
     ):
         self.machine = machine or MachineSpec()
         self.scheduler = scheduler
         self.check_golden = check_golden
+        self.chunk_timeout = chunk_timeout
         self.cache = FlowArtifactCache(max_entries=cache_entries)
         self.simulator = DatapathSimulator(
             mult_depth=self.machine.mult_latency,
@@ -201,6 +261,7 @@ class BatchEngine:
         points: Optional[Sequence[AffinePoint]] = None,
         workers: int = 0,
         dedup: bool = True,
+        strict: bool = False,
     ) -> BatchResult:
         """Compute [k_i]P (shared ``point``) or [k_i]P_i (``points``).
 
@@ -213,6 +274,8 @@ class BatchEngine:
                 0/1 runs serially in-process (the default, and the
                 fallback when the platform lacks ``fork``/``spawn``).
             dedup: compute repeated (k mod N, P) requests once.
+            strict: raise on the first failed item instead of returning
+                its :class:`~repro.serve.faults.Failed` envelope.
         """
         if points is not None and point is not None:
             raise ValueError("pass either point or points, not both")
@@ -221,7 +284,7 @@ class BatchEngine:
         base = point or AffinePoint.generator()
         pts = list(points) if points is not None else [base] * len(scalars)
         jobs = [("sm", (k, p)) for k, p in zip(scalars, pts)]
-        return self._run_batch(jobs, workers=workers, dedup=dedup)
+        return self._run_batch(jobs, workers=workers, dedup=dedup, strict=strict)
 
     def batch_dh(
         self,
@@ -229,31 +292,39 @@ class BatchEngine:
         peer_publics: Sequence[bytes],
         workers: int = 0,
         dedup: bool = True,
+        strict: bool = False,
     ) -> BatchResult:
         """Co-factored ECDH against many peers with one private key.
 
         Per peer: decode, clear the cofactor, reject small-order points
         (:class:`~repro.dsa.fourq_dh.SmallOrderPoint`), run [d]P on the
         simulated datapath, hash the encoding — byte-identical to
-        :func:`repro.dsa.fourq_dh.shared_secret`.
+        :func:`repro.dsa.fourq_dh.shared_secret`.  A rejected peer costs
+        one :class:`~repro.serve.faults.Failed` slot (``small_order`` or
+        ``decoding``), never the batch; ``strict=True`` raises instead.
         """
         jobs = [("dh", (private, pub)) for pub in peer_publics]
-        return self._run_batch(jobs, workers=workers, dedup=dedup)
+        return self._run_batch(jobs, workers=workers, dedup=dedup, strict=strict)
 
     def batch_verify(
         self,
         items: Sequence[Tuple[AffinePoint, bytes, SchnorrSignature]],
         workers: int = 0,
         dedup: bool = False,
+        strict: bool = False,
     ) -> BatchResult:
         """Verify many Schnorr (public, message, signature) triples.
 
         Each verification runs the double-base workload [s]G + [N-e]Q on
         the simulated datapath and compares against the commitment —
         the same decision :func:`repro.dsa.fourq_schnorr.verify` makes.
+        An invalid-but-well-formed signature verifies ``False``; an item
+        whose material cannot even be processed (wrong types, off-range
+        coordinates raising deep in the stack) becomes a typed
+        :class:`~repro.serve.faults.Failed` envelope.
         """
         jobs = [("verify", item) for item in items]
-        return self._run_batch(jobs, workers=workers, dedup=dedup)
+        return self._run_batch(jobs, workers=workers, dedup=dedup, strict=strict)
 
     # -- execution -----------------------------------------------------
     def _execute(self, kind: str, payload) -> Tuple[Any, int, bool]:
@@ -295,6 +366,18 @@ class BatchEngine:
                 sig.s, u2, AffinePoint.generator(), public
             )
             return self._point_from_outputs(flow) == commit, flow.cycles, flow.fallback
+        if kind == "fault":
+            # Fault-injection hook (tests, chaos benchmarks).  The
+            # payload fires only inside pool workers; in the parent it
+            # degrades to a marker value, so a requeued chunk is
+            # recoverable by the parent's serial re-run.
+            mode = payload[0]
+            if _IN_WORKER:
+                if mode == "exit":
+                    os._exit(17)
+                if mode == "sleep":
+                    time.sleep(payload[1])
+            return ("fault", mode), 0, False
         raise ValueError(f"unknown job kind {kind!r}")
 
     @staticmethod
@@ -308,7 +391,19 @@ class BatchEngine:
             return (kind, private % SUBGROUP_ORDER_N, bytes(pub))
         return None
 
-    def _run_serial(self, jobs: Sequence[Tuple[str, Any]], dedup: bool) -> Tuple[List[Any], BatchStats]:
+    def _run_serial(
+        self,
+        jobs: Sequence[Tuple[str, Any]],
+        dedup: bool,
+        strict: bool = False,
+    ) -> Tuple[List[Any], BatchStats]:
+        """Run jobs in-process with per-item fault isolation.
+
+        Each job either produces its value or (``strict=False``) its
+        typed :class:`~repro.serve.faults.Failed` envelope; with
+        ``strict=True`` the first failure propagates as the original
+        exception, aborting the remainder — the historical behaviour.
+        """
         stats = BatchStats()
         seen: Dict[tuple, Any] = {}
         results: List[Any] = []
@@ -320,7 +415,23 @@ class BatchEngine:
                 stats.ops += 1
                 continue
             t0 = time.perf_counter()
-            result, cycles, used_fallback = self._execute(kind, payload)
+            try:
+                result, cycles, used_fallback = self._execute(kind, payload)
+            except Exception as exc:
+                if strict:
+                    raise
+                elapsed = time.perf_counter() - t0
+                failure = Failed(
+                    kind=classify_exception(exc),
+                    message=str(exc),
+                    latency=elapsed,
+                )
+                stats.record_error(failure.kind, elapsed)
+                stats.ops += 1
+                # Failures are never deduped: every bad input re-executes
+                # so errors_by_kind matches the injected faults exactly.
+                results.append(failure)
+                continue
             stats.latencies.append(time.perf_counter() - t0)
             stats.simulated_cycles += cycles
             stats.fallbacks += int(used_fallback)
@@ -334,31 +445,54 @@ class BatchEngine:
         return results, stats
 
     def _run_batch(
-        self, jobs: Sequence[Tuple[str, Any]], workers: int, dedup: bool
+        self,
+        jobs: Sequence[Tuple[str, Any]],
+        workers: int,
+        dedup: bool,
+        strict: bool = False,
     ) -> BatchResult:
         t0 = time.perf_counter()
         if workers and workers > 1 and len(jobs) > 1:
             try:
                 results, stats = self._run_parallel(jobs, workers, dedup)
-            except (ImportError, OSError):
-                # Pools unavailable (restricted platform): serial fallback.
-                results, stats = self._run_serial(jobs, dedup)
+            except (ImportError, OSError, pickle.PicklingError):
+                # Pools unavailable (restricted platform) or the jobs
+                # cannot cross a process boundary: serial fallback.
+                results, stats = self._run_serial(jobs, dedup, strict=strict)
         else:
-            results, stats = self._run_serial(jobs, dedup)
+            results, stats = self._run_serial(jobs, dedup, strict=strict)
         stats.wall_seconds = time.perf_counter() - t0
-        return BatchResult(results=results, stats=stats)
+        results = [
+            replace(r, index=i) if isinstance(r, Failed) else r
+            for i, r in enumerate(results)
+        ]
+        batch = BatchResult(results=results, stats=stats)
+        if strict:
+            # Parallel workers always run isolated (an exception must
+            # not kill the pool); strict surfaces the first failure here.
+            batch.raise_any()
+        return batch
 
     def _run_parallel(
         self, jobs: Sequence[Tuple[str, Any]], workers: int, dedup: bool
     ) -> Tuple[List[Any], BatchStats]:
+        """Fan chunks out across worker processes with crash containment.
+
+        A chunk whose worker dies, whose result times out, or whose
+        payload fails to pickle is *requeued* and re-run serially in the
+        parent (at most :data:`MAX_CHUNK_RETRIES` recovery runs each,
+        order preserved), so one poisoned chunk cannot discard the
+        results the healthy workers already produced.
+        """
         import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
 
         try:
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = mp.get_context("spawn")
 
-        workers = min(workers, len(jobs))
         chunks = _chunk(list(enumerate(jobs)), workers)
         config = _EngineConfig(
             mult_latency=self.machine.mult_latency,
@@ -371,15 +505,60 @@ class BatchEngine:
             check_golden=self.check_golden,
             dedup=dedup,
         )
-        stats = BatchStats(workers=workers)
+        # Report the worker count actually used: never more than the
+        # number of non-empty chunks.
+        stats = BatchStats(workers=len(chunks))
         ordered: List[Any] = [None] * len(jobs)
-        with ctx.Pool(processes=workers, initializer=_worker_init, initargs=(config,)) as pool:
-            for indices, chunk_results, chunk_stats in pool.imap_unordered(
-                _worker_run_chunk, chunks
-            ):
+        requeued: List[List] = []
+        timed_out = False
+        pool = ProcessPoolExecutor(
+            max_workers=len(chunks),
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(config,),
+        )
+        try:
+            futures = [(pool.submit(_worker_run_chunk, ch), ch) for ch in chunks]
+            for future, chunk in futures:
+                try:
+                    indices, chunk_results, chunk_stats = future.result(
+                        timeout=self.chunk_timeout
+                    )
+                except FutureTimeout:
+                    future.cancel()
+                    timed_out = True
+                    stats.requeues += 1
+                    requeued.append(chunk)
+                    continue
+                except Exception:
+                    # Worker death raises BrokenProcessPool and kills the
+                    # whole pool: this chunk and every still-pending one
+                    # land here and are requeued.  Unpicklable payloads
+                    # or results surface the same way.
+                    stats.requeues += 1
+                    requeued.append(chunk)
+                    continue
                 for i, r in zip(indices, chunk_results):
                     ordered[i] = r
                 stats.merge(chunk_stats)
+        finally:
+            if timed_out:
+                # A worker that blew its time budget may be hung; kill
+                # the stragglers so reaping the pool cannot block (and
+                # interpreter shutdown cannot stall on the join).
+                for proc in (getattr(pool, "_processes", None) or {}).values():
+                    proc.kill()
+            pool.shutdown(wait=True, cancel_futures=True)
+        for chunk in requeued:
+            # Bounded recovery (MAX_CHUNK_RETRIES serial runs; the
+            # serial path isolates per item, so one run completes).
+            indices = [i for i, _ in chunk]
+            chunk_jobs = [job for _, job in chunk]
+            chunk_results, chunk_stats = self._run_serial(chunk_jobs, dedup)
+            stats.retries += 1
+            for i, r in zip(indices, chunk_results):
+                ordered[i] = r
+            stats.merge(chunk_stats)
         stats.ops = len(jobs)
         return ordered, stats
 
@@ -404,10 +583,15 @@ class _EngineConfig:
 
 _WORKER_ENGINE: Optional[BatchEngine] = None
 _WORKER_DEDUP: bool = True
+#: True only inside pool worker processes (set by the initializer); the
+#: fault-injection job kind keys off this so injected crashes can never
+#: take down the parent.
+_IN_WORKER: bool = False
 
 
 def _worker_init(config: _EngineConfig) -> None:
-    global _WORKER_ENGINE, _WORKER_DEDUP
+    global _WORKER_ENGINE, _WORKER_DEDUP, _IN_WORKER
+    _IN_WORKER = True
     _WORKER_ENGINE = BatchEngine(
         machine=MachineSpec(
             mult_latency=config.mult_latency,
@@ -427,15 +611,30 @@ def _worker_run_chunk(chunk):
     indices = [i for i, _ in chunk]
     jobs = [job for _, job in chunk]
     assert _WORKER_ENGINE is not None
+    # Workers always run isolated: a per-item exception becomes a Failed
+    # envelope that travels home as plain data, never a pool-killing raise.
     results, stats = _WORKER_ENGINE._run_serial(jobs, _WORKER_DEDUP)
     return indices, results, stats
 
 
 def _chunk(items: List, n: int) -> List[List]:
-    """Split into n round-robin-balanced contiguous chunks."""
-    n = max(1, n)
-    size = (len(items) + n - 1) // n
-    return [items[i : i + size] for i in range(0, len(items), size)]
+    """Split into at most n balanced contiguous chunks (sizes differ <= 1).
+
+    Never emits an empty chunk: 5 jobs across 4 workers yield sizes
+    [2, 1, 1, 1] — four busy workers, not three chunks and an idle one.
+    Callers report ``len(chunks)`` as the worker count actually used.
+    """
+    if not items:
+        return []
+    n = max(1, min(n, len(items)))
+    base, extra = divmod(len(items), n)
+    chunks: List[List] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
 
 
 # -- module-level convenience API --------------------------------------
@@ -456,20 +655,30 @@ def batch_scalarmult(
     point: Optional[AffinePoint] = None,
     points: Optional[Sequence[AffinePoint]] = None,
     workers: int = 0,
+    strict: bool = False,
 ) -> BatchResult:
     """[k_i]P for a batch of scalars on the shared default engine."""
     return default_engine().batch_scalarmult(
-        scalars, point=point, points=points, workers=workers
+        scalars, point=point, points=points, workers=workers, strict=strict
     )
 
 
-def batch_dh(private: int, peer_publics: Sequence[bytes], workers: int = 0) -> BatchResult:
+def batch_dh(
+    private: int,
+    peer_publics: Sequence[bytes],
+    workers: int = 0,
+    strict: bool = False,
+) -> BatchResult:
     """Batched co-factored ECDH on the shared default engine."""
-    return default_engine().batch_dh(private, peer_publics, workers=workers)
+    return default_engine().batch_dh(
+        private, peer_publics, workers=workers, strict=strict
+    )
 
 
 def batch_verify(
-    items: Sequence[Tuple[AffinePoint, bytes, SchnorrSignature]], workers: int = 0
+    items: Sequence[Tuple[AffinePoint, bytes, SchnorrSignature]],
+    workers: int = 0,
+    strict: bool = False,
 ) -> BatchResult:
     """Batched Schnorr verification on the shared default engine."""
-    return default_engine().batch_verify(items, workers=workers)
+    return default_engine().batch_verify(items, workers=workers, strict=strict)

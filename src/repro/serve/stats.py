@@ -1,27 +1,34 @@
 """Throughput/latency accounting for the batch scalar-multiplication engine.
 
 A :class:`BatchStats` summarizes one batch: wall-clock throughput,
-per-operation latency quantiles, flow-artifact cache effectiveness, and
-the simulated hardware cost (cycles per operation) — the numbers a
-serving deployment watches, next to the paper's own headline (one SM in
-10.1 µs on the fabricated chip).
+per-operation latency quantiles, flow-artifact cache effectiveness, the
+simulated hardware cost (cycles per operation), and the failure-isolation
+picture — how many items were rejected, of which kinds, and how much
+recovery (chunk requeues/retries) the worker fan-out needed.  These are
+the numbers a serving deployment watches, next to the paper's own
+headline (one SM in 10.1 µs on the fabricated chip).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]); 0.0 for an empty list."""
+    """Nearest-rank (ceiling) percentile (q in [0, 100]); 0.0 when empty.
+
+    The rank is ``ceil(q/100 * (n-1))`` over the sorted samples, so the
+    estimate never under-reports: p50 of two samples is the *upper*
+    sample, p0 the minimum, p100 the maximum.  (``round()`` would
+    banker's-round 0.5 down to the lower sample.)
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-    return ordered[int(rank)]
+    rank = math.ceil(q / 100.0 * (len(ordered) - 1))
+    return ordered[max(0, min(len(ordered) - 1, rank))]
 
 
 @dataclass
@@ -29,16 +36,29 @@ class BatchStats:
     """Aggregated statistics for one batch call.
 
     Attributes:
-        ops: operations completed.
+        ops: operations completed (successes and isolated failures).
         wall_seconds: end-to-end wall-clock time for the batch.
-        latencies: per-op latency samples in seconds (one per op; in
-            worker fan-out mode these are measured inside the workers).
+        latencies: per-op latency samples in seconds for *successful*
+            items (one per executed op; in worker fan-out mode these are
+            measured inside the workers).
         cache_hits / cache_misses: flow-artifact cache counters
-            attributable to this batch.
+            attributable to this batch (a fast path that fell back is
+            counted as a miss, not a hit).
         fallbacks: ops where the cached fast path failed a check and
             the engine recomputed the full flow (self-healing path).
         simulated_cycles: total datapath cycles across the batch.
-        workers: worker processes used (0 = serial in-process).
+        workers: worker processes actually used (0 = serial in-process;
+            never exceeds the number of non-empty chunks).
+        errors: items rejected with a typed
+            :class:`~repro.serve.faults.Failed` envelope.
+        errors_by_kind: rejected-item count per failure kind.
+        error_latencies: seconds spent per rejected item before its
+            failure was detected (kept apart from ``latencies`` so the
+            latency quantiles describe successful work).
+        requeues: chunks whose worker died, timed out, or whose payload
+            could not cross the process boundary, put back for recovery.
+        retries: recovery re-executions performed for requeued chunks
+            (serial re-runs in the parent).
     """
 
     ops: int = 0
@@ -49,6 +69,11 @@ class BatchStats:
     fallbacks: int = 0
     simulated_cycles: int = 0
     workers: int = 0
+    errors: int = 0
+    errors_by_kind: Dict[str, int] = field(default_factory=dict)
+    error_latencies: List[float] = field(default_factory=list)
+    requeues: int = 0
+    retries: int = 0
 
     @property
     def ops_per_second(self) -> float:
@@ -71,6 +96,20 @@ class BatchStats:
     def cycles_per_op(self) -> float:
         return self.simulated_cycles / self.ops if self.ops else 0.0
 
+    @property
+    def ok_count(self) -> int:
+        return self.ops - self.errors
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.ops if self.ops else 0.0
+
+    def record_error(self, kind: str, latency: float) -> None:
+        """Account one isolated per-item failure."""
+        self.errors += 1
+        self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+        self.error_latencies.append(latency)
+
     def merge(self, other: "BatchStats") -> None:
         """Fold a worker's partial stats into this aggregate."""
         self.ops += other.ops
@@ -79,6 +118,12 @@ class BatchStats:
         self.cache_misses += other.cache_misses
         self.fallbacks += other.fallbacks
         self.simulated_cycles += other.simulated_cycles
+        self.errors += other.errors
+        for kind, count in other.errors_by_kind.items():
+            self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + count
+        self.error_latencies.extend(other.error_latencies)
+        self.requeues += other.requeues
+        self.retries += other.retries
 
     def report(self) -> str:
         lines = [
@@ -93,4 +138,17 @@ class BatchStats:
             + (f" / {self.fallbacks} fallback)" if self.fallbacks else ")"),
             f"cycles per op   : {self.cycles_per_op:.0f} simulated",
         ]
+        if self.errors:
+            kinds = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.errors_by_kind.items())
+            )
+            lines.append(
+                f"errors          : {self.errors}/{self.ops} isolated ({kinds})"
+            )
+        if self.requeues or self.retries:
+            lines.append(
+                f"chunk recovery  : {self.requeues} requeued / "
+                f"{self.retries} retried"
+            )
         return "\n".join(lines)

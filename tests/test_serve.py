@@ -17,8 +17,9 @@ from repro.curve.point import AffinePoint, random_subgroup_point
 from repro.curve.scalarmult import scalar_mul_fourq
 from repro.flow import run_flow
 from repro.sched.jobshop import MachineSpec
-from repro.serve import BatchEngine
+from repro.serve import BatchEngine, BatchResult, BatchStats, Failed, percentile
 from repro.serve.cache import FlowArtifactCache, FlowArtifacts, trace_shape_key
+from repro.serve.engine import _chunk
 from repro.trace import trace_loop_iteration, trace_scalar_mult
 
 
@@ -201,6 +202,13 @@ class TestBatchSemantics:
         )
         assert list(verdicts) == [True, False]
 
+    def test_workers_reports_chunks_actually_used(self, engine):
+        """3 jobs never occupy more than 3 workers, whatever was asked."""
+        result = engine.batch_scalarmult([31, 32, 33], workers=8, dedup=False)
+        assert result.stats.workers == 3
+        ref = scalar_mul_fourq(31, AffinePoint.generator())
+        assert (result[0].x, result[0].y) == (ref.x, ref.y)
+
     def test_stats_accounting(self, engine):
         result = engine.batch_scalarmult([11, 12, 13], dedup=False)
         s = result.stats
@@ -210,3 +218,99 @@ class TestBatchSemantics:
         assert s.simulated_cycles > 0 and s.cycles_per_op > 0
         assert s.wall_seconds >= sum(s.latencies) * 0.5
         assert "ops/s" in s.report()
+
+
+class TestPercentile:
+    """Nearest-rank (ceil) percentile: never under-reports."""
+
+    def test_p50_of_two_samples_is_upper(self):
+        # round() banker's rounding used to return the lower sample.
+        assert percentile([1.0, 2.0], 50) == 2.0
+
+    def test_extremes_and_midpoints(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 5.0
+        assert percentile(samples, 50) == 3.0
+        assert percentile(samples, 99) == 5.0
+
+    def test_degenerate_inputs(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+
+
+class TestChunk:
+    """The fan-out split is balanced and never emits an empty chunk."""
+
+    def test_five_jobs_four_workers_uses_four_chunks(self):
+        chunks = _chunk(list(range(5)), 4)
+        assert [len(c) for c in chunks] == [2, 1, 1, 1]
+
+    def test_fewer_jobs_than_workers(self):
+        chunks = _chunk(list(range(3)), 8)
+        assert [len(c) for c in chunks] == [1, 1, 1]
+
+    def test_balanced_and_order_preserving(self):
+        for n_items in range(1, 17):
+            for n in range(1, 9):
+                chunks = _chunk(list(range(n_items)), n)
+                assert [x for c in chunks for x in c] == list(range(n_items))
+                sizes = [len(c) for c in chunks]
+                assert min(sizes) >= 1
+                assert max(sizes) - min(sizes) <= 1
+                assert len(chunks) == min(n, n_items)
+
+    def test_empty(self):
+        assert _chunk([], 4) == []
+
+
+class TestBatchResultEnvelope:
+    """errors / ok_count / outcomes / raise_any / unwrap helpers."""
+
+    def _mixed(self):
+        failed = Failed(kind="value", message="boom", index=1)
+        return BatchResult(results=["a", failed, "c"], stats=BatchStats(ops=3))
+
+    def test_error_accessors(self):
+        result = self._mixed()
+        assert result.ok_count == 2
+        assert [f.index for f in result.errors] == [1]
+        outcomes = result.outcomes
+        assert outcomes[0].ok and outcomes[0].value == "a"
+        assert not outcomes[1].ok and outcomes[1].kind == "value"
+        assert outcomes[2].index == 2
+
+    def test_raise_any_and_unwrap(self):
+        result = self._mixed()
+        with pytest.raises(ValueError, match="boom"):
+            result.raise_any()
+        with pytest.raises(ValueError, match="boom"):
+            result.unwrap()
+        clean = BatchResult(results=["a", "b"], stats=BatchStats(ops=2))
+        clean.raise_any()  # no error: a no-op
+        assert clean.unwrap() == ["a", "b"]
+
+
+class TestHitRateHonesty:
+    def test_fallback_demotes_hit_accounting(self):
+        """A fast path that falls back must count as a miss, not a hit."""
+        cache = FlowArtifactCache()
+        miss = run_flow(trace_loop_iteration(random.Random(31)), cache=cache)
+        assert cache.counters() == (0, 1, 0)
+
+        entry = cache._entries[miss.cache_key]
+        bad_template = dataclasses.replace(
+            entry.template, n_trace=entry.template.n_trace + 1
+        )
+        cache.put(dataclasses.replace(entry, template=bad_template))
+
+        flow = run_flow(trace_loop_iteration(random.Random(32)), cache=cache)
+        assert flow.fallback and not flow.cache_hit
+        # The get() hit was reclassified: 0 completed fast paths.
+        assert (cache.hits, cache.misses, cache.fallbacks) == (0, 2, 1)
+        assert cache.hit_rate == 0.0
+
+        # Self-healed entry: the next request is an honest hit again.
+        healed = run_flow(trace_loop_iteration(random.Random(33)), cache=cache)
+        assert healed.cache_hit
+        assert (cache.hits, cache.misses, cache.fallbacks) == (1, 2, 1)
