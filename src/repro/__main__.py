@@ -9,7 +9,11 @@ Commands:
 * ``table1``  — print the CP-optimal loop-kernel schedule;
 * ``keygen``  — generate and print a FourQ keypair (demo only);
 * ``serve-bench`` — benchmark the batch scalar-multiplication engine
-  (``serve-bench [N] [--workers W] [--baseline M] [--poison R]``).
+  (``serve-bench [N] [--workers W] [--baseline M] [--poison R]
+  [--smoke] [--metrics-out PATH]``);
+* ``metrics`` — validate/inspect a metrics export, or run a small
+  instrumented workload and print the observability report
+  (``metrics [PATH] [--check]``).
 """
 
 from __future__ import annotations
@@ -95,22 +99,37 @@ def cmd_serve_bench(argv=()) -> int:
     batched-DH fault-isolation benchmark with a ratio R of invalid peer
     keys injected (small-order and malformed encodings) and reports the
     isolation overhead per good operation.
+
+    ``--smoke`` shrinks the run for CI (N=6, one baseline flow);
+    ``--metrics-out PATH`` exports the process-wide metrics registry
+    after the run as schema-validated JSON plus a Prometheus text file
+    next to it.
     """
     import argparse
     import random
     import time
 
     parser = argparse.ArgumentParser(prog="repro serve-bench")
-    parser.add_argument("n", nargs="?", type=int, default=16,
-                        help="batch size (default 16)")
+    parser.add_argument("n", nargs="?", type=int, default=None,
+                        help="batch size (default 16; 6 with --smoke)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (0 = serial)")
-    parser.add_argument("--baseline", type=int, default=3,
-                        help="independent per-request flows to time")
+    parser.add_argument("--baseline", type=int, default=None,
+                        help="independent per-request flows to time "
+                             "(default 3; 1 with --smoke)")
     parser.add_argument("--poison", type=float, default=0.0, metavar="R",
                         help="inject ratio R in (0, 1) of invalid DH "
                              "requests and report isolation overhead")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run (N=6, baseline=1)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the metrics registry as JSON to PATH "
+                             "(+ Prometheus text alongside)")
     args = parser.parse_args(list(argv))
+    if args.n is None:
+        args.n = 6 if args.smoke else 16
+    if args.baseline is None:
+        args.baseline = 1 if args.smoke else 3
     if not 0.0 <= args.poison < 1.0:
         print("--poison must be in [0, 1)", file=sys.stderr)
         return 2
@@ -175,6 +194,80 @@ def cmd_serve_bench(argv=()) -> int:
                   file=sys.stderr)
             return 1
         print("PASS: every injected fault isolated, every good result returned")
+
+    if args.metrics_out:
+        from .obs import ExportSchemaError, get_registry, write_exports
+
+        try:
+            json_path, prom_path = write_exports(
+                get_registry().snapshot(), args.metrics_out
+            )
+        except ExportSchemaError as exc:
+            print(f"FAIL: metrics export is schema-invalid: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"\nmetrics written    : {json_path} (+ {prom_path})")
+    return 0
+
+
+def cmd_metrics(argv=()) -> int:
+    """Validate or render a metrics export, or produce one live.
+
+    ``metrics PATH`` validates the JSON export at PATH and prints the
+    derived observability report; ``--check`` validates only (exit 1 on
+    schema violations — the CI gate).  With no PATH, a small
+    instrumented workload runs in-process and its report is printed.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(prog="repro metrics")
+    parser.add_argument("path", nargs="?", default=None,
+                        help="metrics JSON export to validate/render "
+                             "(omit to run a small live workload)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the schema only; exit 1 on errors")
+    args = parser.parse_args(list(argv))
+
+    from .obs import (
+        MetricsRegistry,
+        render_report,
+        set_registry,
+        validate_export,
+    )
+
+    if args.path is not None:
+        try:
+            with open(args.path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+            return 1
+        errors = validate_export(doc)
+        if errors:
+            print(f"FAIL: {len(errors)} schema violation(s):", file=sys.stderr)
+            for err in errors:
+                print(f"  - {err}", file=sys.stderr)
+            return 1
+        if args.check:
+            print(f"OK: {args.path} is a valid {doc.get('schema')} export")
+            return 0
+        print(render_report(doc))
+        return 0
+
+    # No file: run a tiny instrumented workload against a private
+    # registry so the report reflects exactly this run.
+    from .serve import BatchEngine
+
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        engine = BatchEngine(metrics=registry)
+        engine.warm()
+        engine.batch_scalarmult([3, 5, 7, 9])
+    finally:
+        set_registry(previous)
+    print(render_report(registry.snapshot()))
     return 0
 
 
@@ -184,10 +277,11 @@ COMMANDS = {
     "table1": cmd_table1,
     "keygen": cmd_keygen,
     "serve-bench": cmd_serve_bench,
+    "metrics": cmd_metrics,
 }
 
 #: Commands that parse their own trailing arguments.
-ARG_COMMANDS = {"serve-bench"}
+ARG_COMMANDS = {"serve-bench", "metrics"}
 
 
 def main(argv=None) -> int:

@@ -23,11 +23,13 @@ flow, so caching never changes results, only cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .isa.fsm import FSMController, generate_fsm
 from .isa.microcode import MicroProgram, assemble, build_template
 from .isa.regalloc import allocate_registers
+from .obs import MetricsRegistry, get_registry
 from .rtl.datapath import DatapathSimulator, SimulationError, SimulationResult
 from .sched.cp_scheduler import cp_schedule
 from .sched.jobshop import JobShopProblem, MachineSpec, problem_from_trace
@@ -37,6 +39,13 @@ from .trace.program import TraceProgram
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve imports flow)
     from .serve.cache import FlowArtifactCache
+
+#: Histogram of per-stage wall time (seconds), labeled ``stage=``
+#: problem / solve / regalloc / assemble / rebind / simulate (the
+#: engine adds ``trace``).
+FLOW_STAGE_SECONDS = "repro_flow_stage_seconds"
+#: Counter of flow passes, labeled ``path=`` miss / hit / fallback.
+FLOW_REQUESTS = "repro_flow_requests_total"
 
 
 @dataclass
@@ -112,6 +121,41 @@ def _verify_outputs(
             )
 
 
+def _record_simulation(obs: MetricsRegistry, sim: SimulationResult) -> None:
+    """Push one run's datapath profile into the metrics registry."""
+    profile = sim.profile
+    if profile is None:
+        return
+    obs.counter("repro_datapath_runs_total").inc()
+    obs.counter("repro_datapath_cycles_total").inc(profile.cycles)
+    obs.counter("repro_datapath_unit_issues_total", unit="mult").inc(
+        profile.mult_issues
+    )
+    obs.counter("repro_datapath_unit_issues_total", unit="addsub").inc(
+        profile.addsub_issues
+    )
+    obs.counter("repro_datapath_unit_busy_cycles_total", unit="mult").inc(
+        profile.mult_busy_cycles
+    )
+    obs.counter("repro_datapath_unit_busy_cycles_total", unit="addsub").inc(
+        profile.addsub_busy_cycles
+    )
+    obs.counter("repro_datapath_forward_uses_total", unit="mult").inc(
+        profile.forward_mult_uses
+    )
+    obs.counter("repro_datapath_forward_uses_total", unit="addsub").inc(
+        profile.forward_addsub_uses
+    )
+    obs.counter("repro_datapath_regfile_reads_total").inc(profile.rf_reads)
+    obs.counter("repro_datapath_regfile_writes_total").inc(profile.rf_writes)
+    obs.gauge("repro_datapath_regfile_read_ports_max", mode="max").set(
+        profile.max_reads_per_cycle
+    )
+    obs.gauge("repro_datapath_regfile_write_ports_max", mode="max").set(
+        profile.max_writes_per_cycle
+    )
+
+
 def run_flow(
     trace_program: TraceProgram,
     machine: Optional[MachineSpec] = None,
@@ -121,6 +165,7 @@ def run_flow(
     cache: "Optional[FlowArtifactCache]" = None,
     simulator: Optional[DatapathSimulator] = None,
     cache_key: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FlowResult:
     """Run the complete flow on a recorded trace.
 
@@ -142,12 +187,16 @@ def run_flow(
             re-hashing the trace per request).  A wrong key is safe:
             the rebind/golden checks reject the mismatched artifacts,
             the true key is recomputed, and the full flow runs.
+        metrics: registry receiving per-stage wall-time spans, the
+            hit/miss/fallback counters, and the datapath unit profile
+            (default: the process-wide :func:`repro.obs.get_registry`).
 
     Returns:
         A :class:`FlowResult`; raises if any stage fails validation.
     """
     machine = machine or MachineSpec()
     tracer = trace_program.tracer
+    obs = metrics if metrics is not None else get_registry()
 
     key = None
     fallback = False
@@ -161,7 +210,7 @@ def run_flow(
         if entry is not None:
             try:
                 return _run_from_artifacts(
-                    trace_program, entry, machine, check_golden, simulator, key
+                    trace_program, entry, machine, check_golden, simulator, key, obs
                 )
             except (KeyError, IndexError, ValueError, RuntimeError):
                 # Shape-key collision or stale artifacts: recompute the
@@ -185,8 +234,11 @@ def run_flow(
             # stale memo must not leak into the cache's key space).
             key = cache.key_for(trace_program, machine, scheduler)
 
+    t0 = perf_counter()
     problem = problem_from_trace(tracer.trace, machine)
+    obs.histogram(FLOW_STAGE_SECONDS, stage="problem").observe(perf_counter() - t0)
 
+    t0 = perf_counter()
     if scheduler == "auto":
         scheduler = "cp" if problem.size <= 64 else "list"
     if scheduler == "cp":
@@ -196,8 +248,12 @@ def run_flow(
     else:
         raise ValueError(f"unknown scheduler {scheduler!r}")
     schedule.validate()
+    obs.histogram(FLOW_STAGE_SECONDS, stage="solve").observe(perf_counter() - t0)
 
+    t0 = perf_counter()
     alloc = allocate_registers(problem, schedule, tracer.trace, tracer.outputs)
+    obs.histogram(FLOW_STAGE_SECONDS, stage="regalloc").observe(perf_counter() - t0)
+    t0 = perf_counter()
     template = None
     if cache is not None:
         # Build the reusable control skeleton once per shape and derive
@@ -224,10 +280,15 @@ def run_flow(
             validate=False,  # validated above
         )
     fsm = generate_fsm(microprogram)
+    obs.histogram(FLOW_STAGE_SECONDS, stage="assemble").observe(perf_counter() - t0)
+    t0 = perf_counter()
     sim_engine = simulator or DatapathSimulator(
         mult_depth=machine.mult_latency, addsub_depth=machine.addsub_latency
     )
     sim = sim_engine.run(microprogram, check_golden=check_golden)
+    obs.histogram(FLOW_STAGE_SECONDS, stage="simulate").observe(perf_counter() - t0)
+    _record_simulation(obs, sim)
+    obs.counter(FLOW_REQUESTS, path="fallback" if fallback else "miss").inc()
 
     if cache is not None and key is not None:
         from .serve.cache import FlowArtifacts
@@ -264,6 +325,7 @@ def _run_from_artifacts(
     check_golden: bool,
     simulator: Optional[DatapathSimulator],
     key: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FlowResult:
     """The cache-hit fast path: rebind + simulate, no solve.
 
@@ -273,7 +335,9 @@ def _run_from_artifacts(
     traced reference.  Any failure propagates so the caller can fall
     back to the full flow.
     """
+    obs = metrics if metrics is not None else get_registry()
     tracer = trace_program.tracer
+    t0 = perf_counter()
     if entry.template is not None:
         microprogram = entry.template.rebind(tracer.trace)
     else:
@@ -286,11 +350,16 @@ def _run_from_artifacts(
             alloc=entry.alloc,
             validate=False,
         )
+    obs.histogram(FLOW_STAGE_SECONDS, stage="rebind").observe(perf_counter() - t0)
+    t0 = perf_counter()
     sim_engine = simulator or DatapathSimulator(
         mult_depth=machine.mult_latency, addsub_depth=machine.addsub_latency
     )
     sim = sim_engine.run(microprogram, check_golden=check_golden)
+    obs.histogram(FLOW_STAGE_SECONDS, stage="simulate").observe(perf_counter() - t0)
     _verify_outputs(trace_program, microprogram, sim)
+    _record_simulation(obs, sim)
+    obs.counter(FLOW_REQUESTS, path="hit").inc()
     return FlowResult(
         trace_program=trace_program,
         problem=entry.problem,

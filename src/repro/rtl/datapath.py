@@ -29,6 +29,71 @@ class SimulationError(RuntimeError):
 
 
 @dataclass
+class UnitProfile:
+    """Per-unit occupancy counters for one simulated program.
+
+    The figures the paper's Table I justifies its datapath with:
+    ``*_issues`` counts cycles a unit accepted a new operation,
+    ``*_busy_cycles`` counts cycles the unit had *any* operation in
+    flight (a depth-3 multiplier stays busy draining), forwarding uses
+    count operands taken from a unit output instead of a register-file
+    port, and the read/write totals give average port pressure.
+    """
+
+    cycles: int = 0
+    mult_issues: int = 0
+    addsub_issues: int = 0
+    mult_busy_cycles: int = 0
+    addsub_busy_cycles: int = 0
+    forward_mult_uses: int = 0
+    forward_addsub_uses: int = 0
+    rf_reads: int = 0
+    rf_writes: int = 0
+    max_reads_per_cycle: int = 0
+    max_writes_per_cycle: int = 0
+
+    @property
+    def mult_utilization(self) -> float:
+        """Fraction of cycles the multiplier accepted a new issue."""
+        return self.mult_issues / self.cycles if self.cycles else 0.0
+
+    @property
+    def addsub_utilization(self) -> float:
+        return self.addsub_issues / self.cycles if self.cycles else 0.0
+
+    @property
+    def schedule_density(self) -> float:
+        """Issue slots filled over slots available (both units).
+
+        Directly comparable to the paper's Table I schedule density:
+        each cycle offers one multiplier and one add-sub issue slot.
+        """
+        return (
+            (self.mult_issues + self.addsub_issues) / (2 * self.cycles)
+            if self.cycles
+            else 0.0
+        )
+
+    def merge(self, other: "UnitProfile") -> None:
+        """Accumulate another run's profile (sums; port maxes by max)."""
+        self.cycles += other.cycles
+        self.mult_issues += other.mult_issues
+        self.addsub_issues += other.addsub_issues
+        self.mult_busy_cycles += other.mult_busy_cycles
+        self.addsub_busy_cycles += other.addsub_busy_cycles
+        self.forward_mult_uses += other.forward_mult_uses
+        self.forward_addsub_uses += other.forward_addsub_uses
+        self.rf_reads += other.rf_reads
+        self.rf_writes += other.rf_writes
+        self.max_reads_per_cycle = max(
+            self.max_reads_per_cycle, other.max_reads_per_cycle
+        )
+        self.max_writes_per_cycle = max(
+            self.max_writes_per_cycle, other.max_writes_per_cycle
+        )
+
+
+@dataclass
 class SimulationResult:
     outputs: Dict[str, Fp2Raw]
     cycles: int
@@ -37,6 +102,7 @@ class SimulationResult:
     max_reads_per_cycle: int
     max_writes_per_cycle: int
     register_count: int
+    profile: Optional[UnitProfile] = None
 
 
 class DatapathSimulator:
@@ -82,6 +148,14 @@ class DatapathSimulator:
         forward_mult = OperandSource.FORWARD_MULT
         unary_kinds = (OpKind.NEG, OpKind.CONJ)
 
+        # Per-unit occupancy accounting, kept in locals so the per-cycle
+        # cost is a handful of integer ops (the profile feeds the
+        # pipeline-utilization metrics; see repro.obs).
+        fwd_uses = [0, 0]  # [multiplier forwards, addsub forwards]
+        mult_issues = addsub_issues = 0
+        mult_busy = addsub_busy = 0
+        m_inflight = s_inflight = 0
+
         # Operand gathering with per-issue register dedup (a squaring
         # fans one read port out to both multiplier inputs).
         def gather(issue: UnitIssue, m_out, s_out, cycle: int) -> List[Fp2Raw]:
@@ -100,12 +174,14 @@ class DatapathSimulator:
                         raise SimulationError(
                             f"cycle {cycle}: forward from idle multiplier"
                         )
+                    fwd_uses[0] += 1
                     vals.append(m_out)
                 else:
                     if s_out is None:
                         raise SimulationError(
                             f"cycle {cycle}: forward from idle addsub"
                         )
+                    fwd_uses[1] += 1
                     vals.append(s_out)
             return vals
 
@@ -144,6 +220,19 @@ class DatapathSimulator:
                 else:
                     addsub_issue = (kind, vals[0], vals[1])
 
+            # Occupancy: a unit is busy any cycle with an op in flight
+            # (issuing, or draining its pipeline).
+            issued_m = mult_issue is not None
+            issued_s = addsub_issue is not None
+            mult_issues += issued_m
+            addsub_issues += issued_s
+            if m_inflight or issued_m:
+                mult_busy += 1
+            if s_inflight or issued_s:
+                addsub_busy += 1
+            m_inflight += issued_m - (m_out is not None)
+            s_inflight += issued_s - (s_out is not None)
+
             mult.tick(mult_issue)
             addsub.tick(addsub_issue)
             rf.end_cycle()
@@ -157,6 +246,19 @@ class DatapathSimulator:
             if val is None:
                 raise SimulationError(f"output {name} (r{reg}) never written")
             outputs[name] = val
+        profile = UnitProfile(
+            cycles=len(program.words),
+            mult_issues=mult_issues,
+            addsub_issues=addsub_issues,
+            mult_busy_cycles=mult_busy,
+            addsub_busy_cycles=addsub_busy,
+            forward_mult_uses=fwd_uses[0],
+            forward_addsub_uses=fwd_uses[1],
+            rf_reads=rf.total_reads,
+            rf_writes=rf.total_writes,
+            max_reads_per_cycle=rf.max_reads_seen,
+            max_writes_per_cycle=rf.max_writes_seen,
+        )
         return SimulationResult(
             outputs=outputs,
             cycles=len(program.words),
@@ -165,4 +267,5 @@ class DatapathSimulator:
             max_reads_per_cycle=rf.max_reads_seen,
             max_writes_per_cycle=rf.max_writes_seen,
             register_count=program.register_count,
+            profile=profile,
         )

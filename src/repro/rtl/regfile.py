@@ -31,6 +31,8 @@ class RegisterFile:
         self._pending_writes: List[Tuple[int, Fp2Raw]] = []
         self.max_reads_seen = 0
         self.max_writes_seen = 0
+        self.total_reads = 0
+        self.total_writes = 0
 
     def reset(self, size: Optional[int] = None) -> None:
         """Restore the power-on state (all registers uninitialized).
@@ -49,6 +51,8 @@ class RegisterFile:
         self._pending_writes = []
         self.max_reads_seen = 0
         self.max_writes_seen = 0
+        self.total_reads = 0
+        self.total_writes = 0
 
     def preload(self, values: Dict[int, Fp2Raw]) -> None:
         for reg, val in values.items():
@@ -63,6 +67,7 @@ class RegisterFile:
         if self._reads_this_cycle > self.read_ports:
             raise PortViolation(f"more than {self.read_ports} reads in a cycle")
         self.max_reads_seen = max(self.max_reads_seen, self._reads_this_cycle)
+        self.total_reads += 1
         val = self._data[reg]
         if val is None:
             raise RuntimeError(f"read of uninitialized register r{reg}")
@@ -73,6 +78,7 @@ class RegisterFile:
         if len(self._pending_writes) > self.write_ports:
             raise PortViolation(f"more than {self.write_ports} writes in a cycle")
         self.max_writes_seen = max(self.max_writes_seen, len(self._pending_writes))
+        self.total_writes += 1
 
     def end_cycle(self) -> None:
         for reg, value in self._pending_writes:

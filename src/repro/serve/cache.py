@@ -19,9 +19,10 @@ and recomputed (counted as a fallback), never silently wrong.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..isa.fsm import FSMController
 from ..isa.microcode import ProgramTemplate
@@ -81,7 +82,15 @@ class FlowArtifacts:
 
 @dataclass
 class FlowArtifactCache:
-    """LRU-bounded cache of :class:`FlowArtifacts` keyed by shape digest."""
+    """LRU-bounded cache of :class:`FlowArtifacts` keyed by shape digest.
+
+    Thread-safe: every mutation of the LRU order and the counters runs
+    under one re-entrant lock, so concurrent ``get``/``put`` from a
+    multi-threaded server can neither corrupt the ``OrderedDict`` nor
+    lose counter increments (``hits + misses`` always equals the number
+    of ``get`` calls).  The lock is process-local and excluded from
+    pickling (each worker process owns its own cache).
+    """
 
     max_entries: int = 16
     hits: int = 0
@@ -89,9 +98,22 @@ class FlowArtifactCache:
     evictions: int = 0
     fallbacks: int = 0
     _entries: "OrderedDict[str, FlowArtifacts]" = field(default_factory=OrderedDict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks don't pickle; restored fresh below
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def key_for(
         self,
@@ -104,20 +126,22 @@ class FlowArtifactCache:
         )
 
     def get(self, key: str) -> Optional[FlowArtifacts]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, entry: FlowArtifacts) -> None:
-        self._entries[entry.key] = entry
-        self._entries.move_to_end(entry.key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def demote_hit(self) -> None:
         """Reclassify the most recent hit as a failed fast path.
@@ -129,21 +153,37 @@ class FlowArtifactCache:
         ``fallbacks`` tick), keeping :attr:`hit_rate` an honest measure
         of successful fast-path completions.
         """
-        self.hits = max(0, self.hits - 1)
-        self.misses += 1
-        self.fallbacks += 1
+        with self._lock:
+            self.hits = max(0, self.hits - 1)
+            self.misses += 1
+            self.fallbacks += 1
 
     def invalidate(self, key: str) -> None:
-        self._entries.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def counters(self) -> Tuple[int, int, int]:
         """(hits, misses, evictions) snapshot."""
-        return (self.hits, self.misses, self.evictions)
+        with self._lock:
+            return (self.hits, self.misses, self.evictions)
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Consistent counter snapshot (all four, one lock acquisition)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "fallbacks": self.fallbacks,
+                "entries": len(self._entries),
+            }

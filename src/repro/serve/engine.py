@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -48,8 +49,9 @@ from ..curve.params import SUBGROUP_ORDER_N
 from ..curve.point import AffinePoint
 from ..dsa.fourq_dh import SmallOrderPoint
 from ..dsa.fourq_schnorr import SchnorrSignature, _challenge
-from ..flow import FlowResult, run_flow
+from ..flow import FLOW_STAGE_SECONDS, FlowResult, run_flow
 from ..hashes.sha256 import sha256
+from ..obs import MetricsRegistry, get_registry
 from ..rtl.datapath import DatapathSimulator
 from ..sched.jobshop import MachineSpec
 from ..trace.program import trace_double_scalar_mult, trace_scalar_mult
@@ -135,6 +137,12 @@ class BatchEngine:
         chunk_timeout: optional per-chunk time budget (seconds) in
             worker fan-out mode; a chunk that exceeds it is requeued and
             re-run serially in the parent (``None`` = wait forever).
+        metrics: registry the engine (and the flows it runs) records
+            into — per-item outcome counters, latency histograms, cache
+            event counters, chunk-recovery counters.  Defaults to the
+            process-wide :func:`repro.obs.get_registry`; worker
+            processes record into their own registry and ship a
+            snapshot home, merged here like ``BatchStats`` partials.
     """
 
     def __init__(
@@ -144,11 +152,13 @@ class BatchEngine:
         cache_entries: int = 16,
         check_golden: bool = True,
         chunk_timeout: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.machine = machine or MachineSpec()
         self.scheduler = scheduler
         self.check_golden = check_golden
         self.chunk_timeout = chunk_timeout
+        self.metrics = metrics if metrics is not None else get_registry()
         self.cache = FlowArtifactCache(max_entries=cache_entries)
         self.simulator = DatapathSimulator(
             mult_depth=self.machine.mult_latency,
@@ -188,12 +198,16 @@ class BatchEngine:
         # self_check=False skips the slow affine (k mod N)*P reference
         # inside the tracer; the simulated result is still verified
         # writeback-by-writeback against the traced values.
+        t0 = time.perf_counter()
         prog = trace_scalar_mult(
             k=k,
             point=point,
             decomposer=self.decomposer,
             compiled=self.compiled_endos,
             self_check=False,
+        )
+        self.metrics.histogram(FLOW_STAGE_SECONDS, stage="trace").observe(
+            time.perf_counter() - t0
         )
         flow = run_flow(
             prog,
@@ -203,6 +217,7 @@ class BatchEngine:
             cache=self.cache,
             simulator=self.simulator,
             cache_key=self._shape_keys.get("scalarmult"),
+            metrics=self.metrics,
         )
         if flow.cache_key is not None:
             self._shape_keys["scalarmult"] = flow.cache_key
@@ -226,6 +241,7 @@ class BatchEngine:
         self, u1: int, u2: int, p1: AffinePoint, p2: AffinePoint
     ) -> FlowResult:
         """Full verified flow for [u1]P1 + [u2]P2 (cache-aware)."""
+        t0 = time.perf_counter()
         prog = trace_double_scalar_mult(
             u1=u1,
             u2=u2,
@@ -235,6 +251,9 @@ class BatchEngine:
             compiled=self.compiled_endos,
             self_check=False,
         )
+        self.metrics.histogram(FLOW_STAGE_SECONDS, stage="trace").observe(
+            time.perf_counter() - t0
+        )
         flow = run_flow(
             prog,
             machine=self.machine,
@@ -243,6 +262,7 @@ class BatchEngine:
             cache=self.cache,
             simulator=self.simulator,
             cache_key=self._shape_keys.get("double_scalarmult"),
+            metrics=self.metrics,
         )
         if flow.cache_key is not None:
             self._shape_keys["double_scalarmult"] = flow.cache_key
@@ -407,12 +427,14 @@ class BatchEngine:
         stats = BatchStats()
         seen: Dict[tuple, Any] = {}
         results: List[Any] = []
-        hits0, misses0, _ = self.cache.counters()
+        m = self.metrics
+        cache0 = self.cache.stats_snapshot()
         for kind, payload in jobs:
             key = self._job_key(kind, payload) if dedup else None
             if key is not None and key in seen:
                 results.append(seen[key])
                 stats.ops += 1
+                m.counter("repro_serve_items_total", kind=kind, outcome="dedup").inc()
                 continue
             t0 = time.perf_counter()
             try:
@@ -428,20 +450,36 @@ class BatchEngine:
                 )
                 stats.record_error(failure.kind, elapsed)
                 stats.ops += 1
+                m.counter("repro_serve_items_total", kind=kind, outcome="error").inc()
+                m.counter("repro_serve_errors_total", kind=failure.kind).inc()
                 # Failures are never deduped: every bad input re-executes
                 # so errors_by_kind matches the injected faults exactly.
                 results.append(failure)
                 continue
-            stats.latencies.append(time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t0
+            stats.latencies.append(elapsed)
             stats.simulated_cycles += cycles
             stats.fallbacks += int(used_fallback)
             stats.ops += 1
+            m.counter("repro_serve_items_total", kind=kind, outcome="ok").inc()
+            m.histogram("repro_serve_latency_seconds", kind=kind).observe(elapsed)
             if key is not None:
                 seen[key] = result
             results.append(result)
-        hits1, misses1, _ = self.cache.counters()
-        stats.cache_hits = hits1 - hits0
-        stats.cache_misses = misses1 - misses0
+        cache1 = self.cache.stats_snapshot()
+        stats.cache_hits = cache1["hits"] - cache0["hits"]
+        stats.cache_misses = cache1["misses"] - cache0["misses"]
+        # demote_hit decrements hits, so a window delta can only dip below
+        # zero transiently; clamp so the monotone counters never regress.
+        for field_name, event in (
+            ("hits", "hit"),
+            ("misses", "miss"),
+            ("evictions", "eviction"),
+            ("fallbacks", "fallback"),
+        ):
+            delta = max(0, cache1[field_name] - cache0[field_name])
+            if delta:
+                m.counter("repro_cache_events_total", event=event).inc(delta)
         return results, stats
 
     def _run_batch(
@@ -521,13 +559,14 @@ class BatchEngine:
             futures = [(pool.submit(_worker_run_chunk, ch), ch) for ch in chunks]
             for future, chunk in futures:
                 try:
-                    indices, chunk_results, chunk_stats = future.result(
+                    indices, chunk_results, chunk_stats, obs_snap = future.result(
                         timeout=self.chunk_timeout
                     )
                 except FutureTimeout:
                     future.cancel()
                     timed_out = True
                     stats.requeues += 1
+                    self.metrics.counter("repro_serve_chunk_requeues_total").inc()
                     requeued.append(chunk)
                     continue
                 except Exception:
@@ -536,11 +575,15 @@ class BatchEngine:
                     # land here and are requeued.  Unpicklable payloads
                     # or results surface the same way.
                     stats.requeues += 1
+                    self.metrics.counter("repro_serve_chunk_requeues_total").inc()
                     requeued.append(chunk)
                     continue
                 for i, r in zip(indices, chunk_results):
                     ordered[i] = r
                 stats.merge(chunk_stats)
+                # Fold the worker's metric partials home exactly like the
+                # BatchStats partials above.
+                self.metrics.merge_snapshot(obs_snap)
         finally:
             if timed_out:
                 # A worker that blew its time budget may be hung; kill
@@ -556,6 +599,7 @@ class BatchEngine:
             chunk_jobs = [job for _, job in chunk]
             chunk_results, chunk_stats = self._run_serial(chunk_jobs, dedup)
             stats.retries += 1
+            self.metrics.counter("repro_serve_chunk_retries_total").inc()
             for i, r in zip(indices, chunk_results):
                 ordered[i] = r
             stats.merge(chunk_stats)
@@ -611,10 +655,16 @@ def _worker_run_chunk(chunk):
     indices = [i for i, _ in chunk]
     jobs = [job for _, job in chunk]
     assert _WORKER_ENGINE is not None
-    # Workers always run isolated: a per-item exception becomes a Failed
-    # envelope that travels home as plain data, never a pool-killing raise.
+    # The worker's process-wide registry accounts for this chunk only:
+    # reset at the start, snapshot (plain picklable dict) shipped home at
+    # the end, merged by the parent like the BatchStats partials.  A fork
+    # worker inherits the parent's registry contents, so without the
+    # reset the parent would double-count everything it recorded before
+    # the fork.
+    registry = get_registry()
+    registry.reset()
     results, stats = _WORKER_ENGINE._run_serial(jobs, _WORKER_DEDUP)
-    return indices, results, stats
+    return indices, results, stats, registry.snapshot()
 
 
 def _chunk(items: List, n: int) -> List[List]:
@@ -640,13 +690,22 @@ def _chunk(items: List, n: int) -> List[List]:
 # -- module-level convenience API --------------------------------------
 
 _DEFAULT_ENGINE: Optional[BatchEngine] = None
+_DEFAULT_ENGINE_LOCK = threading.Lock()
 
 
 def default_engine() -> BatchEngine:
-    """The process-wide shared engine (lazily constructed)."""
+    """The process-wide shared engine (lazily constructed, thread-safe).
+
+    Double-checked locking: the fast path is one unlocked read, and the
+    lock guarantees concurrent first callers all receive the same
+    instance (two racing engines would each warm their own artifact
+    cache and split the hit-rate statistics).
+    """
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = BatchEngine()
+        with _DEFAULT_ENGINE_LOCK:
+            if _DEFAULT_ENGINE is None:
+                _DEFAULT_ENGINE = BatchEngine()
     return _DEFAULT_ENGINE
 
 
