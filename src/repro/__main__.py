@@ -11,6 +11,11 @@ Commands:
 * ``serve-bench`` — benchmark the batch scalar-multiplication engine
   (``serve-bench [N] [--workers W] [--baseline M] [--poison R]
   [--smoke] [--metrics-out PATH]``);
+* ``serve`` — drive the asyncio continuous-batching front door with an
+  in-process Poisson arrival stream and print the serving report
+  (``serve [N] [--rate R] [--max-batch B] [--max-wait-ms W]
+  [--policy P] [--queue Q] [--workers W] [--poison R] [--smoke]
+  [--metrics-out PATH]``);
 * ``metrics`` — validate/inspect a metrics export, or run a small
   instrumented workload and print the observability report
   (``metrics [PATH] [--check]``).
@@ -210,6 +215,162 @@ def cmd_serve_bench(argv=()) -> int:
     return 0
 
 
+def cmd_serve(argv=()) -> int:
+    """Demo-drive the asyncio front door under Poisson arrivals.
+
+    ``serve [N]`` submits N individual scalar-multiplication requests
+    (default 64) through :class:`repro.serve.frontend.Frontend` with
+    exponential inter-arrival times at ``--rate`` requests/s (0 = as
+    fast as the loop can submit, the saturation case), then prints the
+    front door's serving report: flush mix, batch-size distribution,
+    time-to-flush and end-to-end latency quantiles, and admission
+    outcomes.  ``--poison R`` turns a ratio R of the stream into
+    invalid DH requests to show streamed per-item isolation.
+
+    ``--smoke`` shrinks the run for CI (N=8); ``--metrics-out PATH``
+    exports the process-wide registry (JSON + Prometheus) afterwards.
+    A sample of results is re-checked against the math layer; any
+    mismatch exits non-zero.
+    """
+    import argparse
+    import asyncio
+    import random
+    import time
+
+    parser = argparse.ArgumentParser(prog="repro serve")
+    parser.add_argument("n", nargs="?", type=int, default=None,
+                        help="requests to stream (default 64; 8 with --smoke)")
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="Poisson arrival rate in req/s "
+                             "(0 = saturation: submit as fast as possible)")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="coalescer flush size (default 16)")
+    parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                        help="coalescer flush deadline in ms (default 5)")
+    parser.add_argument("--policy", choices=("block", "reject", "shed"),
+                        default="block", help="admission policy when the "
+                        "queue is full (default block)")
+    parser.add_argument("--queue", type=int, default=256,
+                        help="per-kind queue bound (default 256)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="engine fan-out per flush (0 = serial)")
+    parser.add_argument("--poison", type=float, default=0.0, metavar="R",
+                        help="ratio in [0, 1) of requests replaced by "
+                             "invalid DH material (streamed isolation demo)")
+    parser.add_argument("--seed", type=lambda s: int(s, 0), default=0x5EED)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run (N=8)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the metrics registry as JSON to PATH "
+                             "(+ Prometheus text alongside)")
+    args = parser.parse_args(list(argv))
+    if args.n is None:
+        args.n = 8 if args.smoke else 64
+    if not 0.0 <= args.poison < 1.0:
+        print("--poison must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    from .curve.encoding import encode_point
+    from .curve.point import AffinePoint
+    from .curve.scalarmult import scalar_mul_fourq
+    from .dsa import fourq_dh
+    from .serve import BatchEngine, Failed, Frontend, Overloaded
+
+    rng = random.Random(args.seed)
+    generator = AffinePoint.generator()
+    me = fourq_dh.generate_keypair(rng)
+    requests = []  # (kind, payload, poisoned?)
+    for i in range(args.n):
+        if args.poison and rng.random() < args.poison:
+            bad = (encode_point(AffinePoint.identity())
+                   if i % 2 == 0 else b"\xff" * 32)
+            requests.append(("dh", (me.private, bad), True))
+        else:
+            requests.append(("sm", (rng.randrange(2**256), generator), False))
+    delays, t = [], 0.0
+    for _ in requests:
+        t += rng.expovariate(args.rate) if args.rate > 0 else 0.0
+        delays.append(t)
+
+    print(f"Warming the engine (one-time curve artifacts + first flow)...")
+    engine = BatchEngine()
+    engine.warm()
+
+    arrival = ("saturation (no pacing)" if args.rate <= 0
+               else f"Poisson at {args.rate:g} req/s")
+    print(f"Streaming {args.n} requests, {arrival}; "
+          f"max_batch={args.max_batch}, max_wait={args.max_wait_ms:g} ms, "
+          f"policy={args.policy}"
+          + (f", poison={args.poison:g}" if args.poison else "") + "...")
+
+    async def driver():
+        fe = Frontend(
+            engine,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.queue,
+            policy=args.policy,
+            workers=args.workers,
+        )
+
+        async def client(kind, payload, delay):
+            await asyncio.sleep(delay)
+            try:
+                return await fe.submit_outcome(kind, payload)
+            except Overloaded as exc:
+                return Failed(kind="overloaded", message=str(exc))
+
+        t0 = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *[client(kind, payload, delay)
+              for (kind, payload, _), delay in zip(requests, delays)]
+        )
+        wall = time.perf_counter() - t0
+        await fe.aclose()
+        return fe, outcomes, wall
+
+    frontend, outcomes, wall = asyncio.run(driver())
+
+    print()
+    print(frontend.stats.report())
+    completed = frontend.stats.completed
+    print(f"wall time        : {wall * 1e3:.1f} ms")
+    print(f"streamed ops/s   : {completed / wall:.2f}")
+
+    # Self-check: every clean scalarmult matches the math layer, every
+    # poisoned request failed as a typed envelope (and nothing else did).
+    checked = mismatches = 0
+    for (kind, payload, poisoned), outcome in zip(requests, outcomes):
+        if poisoned != isinstance(outcome, Failed):
+            mismatches += 1
+        elif kind == "sm" and not isinstance(outcome, Failed) and checked < 8:
+            k, p = payload
+            ref = scalar_mul_fourq(k, p)
+            if (outcome.value.x, outcome.value.y) != (ref.x, ref.y):
+                mismatches += 1
+            checked += 1
+    if mismatches:
+        print(f"FAIL: {mismatches} streamed outcome(s) diverged",
+              file=sys.stderr)
+        return 1
+    print(f"PASS: outcomes verified ({checked} re-checked against the "
+          f"math layer)")
+
+    if args.metrics_out:
+        from .obs import ExportSchemaError, get_registry, write_exports
+
+        try:
+            json_path, prom_path = write_exports(
+                get_registry().snapshot(), args.metrics_out
+            )
+        except ExportSchemaError as exc:
+            print(f"FAIL: metrics export is schema-invalid: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"metrics written  : {json_path} (+ {prom_path})")
+    return 0
+
+
 def cmd_metrics(argv=()) -> int:
     """Validate or render a metrics export, or produce one live.
 
@@ -277,11 +438,12 @@ COMMANDS = {
     "table1": cmd_table1,
     "keygen": cmd_keygen,
     "serve-bench": cmd_serve_bench,
+    "serve": cmd_serve,
     "metrics": cmd_metrics,
 }
 
 #: Commands that parse their own trailing arguments.
-ARG_COMMANDS = {"serve-bench", "metrics"}
+ARG_COMMANDS = {"serve-bench", "serve", "metrics"}
 
 
 def main(argv=None) -> int:

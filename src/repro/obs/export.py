@@ -297,6 +297,34 @@ def render_report(doc: dict) -> str:
             lines.append(f"  hit rate  : {hits / total:.1%}")
         lines.append("")
 
+    admissions = [
+        e for e in doc["counters"] if e["name"] == "repro_frontend_admissions_total"
+    ]
+    if admissions:
+        lines.append("frontend (continuous batching)")
+        for entry in admissions:
+            kind = entry["labels"].get("kind", "?")
+            outcome = entry["labels"].get("outcome", "?")
+            lines.append(f"  {kind:<8} {outcome:<8}: {int(entry['value'])}")
+        for entry in _find(doc, "counters", "repro_frontend_flushes_total"):
+            kind = entry["labels"].get("kind", "?")
+            reason = entry["labels"].get("reason", "?")
+            lines.append(f"  flush[{kind}/{reason}]: {int(entry['value'])}")
+        for entry in _find(doc, "histograms", "repro_frontend_batch_size"):
+            kind = entry["labels"].get("kind", "?")
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            lines.append(
+                f"  batch size[{kind}]  : mean {mean:.1f}  p50 {entry['p50']:.0f}"
+                f"  p99 {entry['p99']:.0f}"
+            )
+        for entry in _find(doc, "histograms", "repro_frontend_e2e_latency_seconds"):
+            kind = entry["labels"].get("kind", "?")
+            lines.append(
+                f"  e2e latency[{kind}] : p50 {entry['p50'] * 1e3:.1f} ms"
+                f"  p99 {entry['p99'] * 1e3:.1f} ms"
+            )
+        lines.append("")
+
     items = [e for e in doc["counters"] if e["name"] == "repro_serve_items_total"]
     if items:
         lines.append("serving items")

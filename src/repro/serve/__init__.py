@@ -16,7 +16,12 @@ requests the way the paper's chip amortizes its silicon:
   never the batch (``strict=True`` restores raise-on-first-error);
 * :class:`~repro.serve.stats.BatchStats` — ops/s, p50/p99 latency,
   cache hit rate, simulated cycles per op, ``errors_by_kind``,
-  requeue/retry counters.
+  requeue/retry counters;
+* :class:`~repro.serve.frontend.Frontend` — the asyncio front door:
+  streamed ``await submit(kind, payload)`` requests coalesced into
+  engine batches (flush on size-or-deadline), bounded queues with
+  block/reject/shed admission control, graceful drain, and
+  :mod:`repro.obs` instrumentation.
 
 See ``docs/serving.md`` for the cache-keying, verification, and error
 contract stories.
@@ -31,7 +36,8 @@ from .engine import (
     batch_verify,
     default_engine,
 )
-from .faults import BatchItemError, Failed, Ok, classify_exception
+from .faults import BatchItemError, Failed, Ok, Overloaded, classify_exception
+from .frontend import Frontend, FrontendClosed, FrontendConfig, FrontendStats
 from .stats import BatchStats, percentile
 
 __all__ = [
@@ -42,7 +48,12 @@ __all__ = [
     "Failed",
     "FlowArtifactCache",
     "FlowArtifacts",
+    "Frontend",
+    "FrontendClosed",
+    "FrontendConfig",
+    "FrontendStats",
     "Ok",
+    "Overloaded",
     "batch_dh",
     "batch_scalarmult",
     "batch_verify",

@@ -282,6 +282,7 @@ class BatchEngine:
         workers: int = 0,
         dedup: bool = True,
         strict: bool = False,
+        min_chunk: Optional[int] = None,
     ) -> BatchResult:
         """Compute [k_i]P (shared ``point``) or [k_i]P_i (``points``).
 
@@ -296,6 +297,10 @@ class BatchEngine:
             dedup: compute repeated (k mod N, P) requests once.
             strict: raise on the first failed item instead of returning
                 its :class:`~repro.serve.faults.Failed` envelope.
+            min_chunk: chunking hint — never give a worker fewer than
+                this many jobs (see :meth:`plan_workers`); small flushes
+                degrade to fewer workers or the serial path instead of
+                paying pool fan-out.
         """
         if points is not None and point is not None:
             raise ValueError("pass either point or points, not both")
@@ -304,7 +309,9 @@ class BatchEngine:
         base = point or AffinePoint.generator()
         pts = list(points) if points is not None else [base] * len(scalars)
         jobs = [("sm", (k, p)) for k, p in zip(scalars, pts)]
-        return self._run_batch(jobs, workers=workers, dedup=dedup, strict=strict)
+        return self._run_batch(
+            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk
+        )
 
     def batch_dh(
         self,
@@ -313,6 +320,7 @@ class BatchEngine:
         workers: int = 0,
         dedup: bool = True,
         strict: bool = False,
+        min_chunk: Optional[int] = None,
     ) -> BatchResult:
         """Co-factored ECDH against many peers with one private key.
 
@@ -324,7 +332,9 @@ class BatchEngine:
         ``decoding``), never the batch; ``strict=True`` raises instead.
         """
         jobs = [("dh", (private, pub)) for pub in peer_publics]
-        return self._run_batch(jobs, workers=workers, dedup=dedup, strict=strict)
+        return self._run_batch(
+            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk
+        )
 
     def batch_verify(
         self,
@@ -332,6 +342,7 @@ class BatchEngine:
         workers: int = 0,
         dedup: bool = False,
         strict: bool = False,
+        min_chunk: Optional[int] = None,
     ) -> BatchResult:
         """Verify many Schnorr (public, message, signature) triples.
 
@@ -344,7 +355,51 @@ class BatchEngine:
         :class:`~repro.serve.faults.Failed` envelope.
         """
         jobs = [("verify", item) for item in items]
-        return self._run_batch(jobs, workers=workers, dedup=dedup, strict=strict)
+        return self._run_batch(
+            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk
+        )
+
+    def run_jobs(
+        self,
+        jobs: Sequence[Tuple[str, Any]],
+        workers: int = 0,
+        dedup: bool = True,
+        strict: bool = False,
+        min_chunk: Optional[int] = None,
+    ) -> BatchResult:
+        """Run a pre-formed mixed-kind job list (the front-door entry).
+
+        Each job is ``(kind, payload)`` with the same kinds the batch
+        entry points build — ``"sm"`` ``(k, point)``, ``"dh"``
+        ``(private, peer_public_bytes)``, ``"verify"``
+        ``(public, message, signature)`` — so a coalescer that already
+        holds typed requests (e.g. :class:`repro.serve.frontend.Frontend`)
+        can dispatch one flush without re-entering a per-kind wrapper.
+        Semantics are identical to the wrappers: input order preserved,
+        per-item fault isolation, ``min_chunk``-aware fan-out.
+        """
+        return self._run_batch(
+            list(jobs), workers=workers, dedup=dedup, strict=strict,
+            min_chunk=min_chunk,
+        )
+
+    @staticmethod
+    def plan_workers(n_jobs: int, workers: int, min_chunk: Optional[int]) -> int:
+        """Effective worker count for a flush of ``n_jobs`` items.
+
+        The pre-computed chunking hint: with ``min_chunk`` set, no
+        worker is ever handed fewer than that many jobs, so a small
+        flush (the continuous-batching front door's common case under
+        light load) degrades gracefully — first to fewer workers, then
+        to the serial in-process path — instead of paying process-pool
+        fan-out for a near-empty chunk.  ``min_chunk=None`` preserves
+        the historical behaviour (any multi-item batch may fan out).
+        """
+        if workers <= 1 or n_jobs <= 1:
+            return 0
+        if min_chunk is None or min_chunk <= 1:
+            return workers
+        return min(workers, n_jobs // min_chunk)
 
     # -- execution -----------------------------------------------------
     def _execute(self, kind: str, payload) -> Tuple[Any, int, bool]:
@@ -488,9 +543,11 @@ class BatchEngine:
         workers: int,
         dedup: bool,
         strict: bool = False,
+        min_chunk: Optional[int] = None,
     ) -> BatchResult:
         t0 = time.perf_counter()
-        if workers and workers > 1 and len(jobs) > 1:
+        workers = self.plan_workers(len(jobs), workers or 0, min_chunk)
+        if workers > 1:
             try:
                 results, stats = self._run_parallel(jobs, workers, dedup)
             except (ImportError, OSError, pickle.PicklingError):

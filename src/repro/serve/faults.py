@@ -39,6 +39,17 @@ class BatchItemError(RuntimeError):
     """Raised for failure kinds with no dedicated exception class."""
 
 
+class Overloaded(RuntimeError):
+    """The serving front door refused admission: queues are full.
+
+    Raised by :meth:`repro.serve.frontend.Frontend.submit` under the
+    ``reject`` backpressure policy, and carried as the ``overloaded``
+    failure kind when a queued request is shed (``shed`` policy) or a
+    non-draining close abandons it.  A transient, retryable condition —
+    the request was never executed.
+    """
+
+
 #: Stable error-kind strings (the keys of ``BatchStats.errors_by_kind``).
 KIND_SMALL_ORDER = "small_order"
 KIND_DECODING = "decoding"
@@ -47,6 +58,8 @@ KIND_VALUE = "value"
 KIND_TYPE = "type"
 KIND_WORKER_CRASH = "worker_crash"
 KIND_TIMEOUT = "timeout"
+KIND_OVERLOADED = "overloaded"
+KIND_CANCELLED = "cancelled"
 KIND_INTERNAL = "internal"
 
 #: Classification table, most specific class first (DecodingError and
@@ -56,6 +69,7 @@ _CLASSIFICATION = (
     (SmallOrderPoint, KIND_SMALL_ORDER),
     (DecodingError, KIND_DECODING),
     (SimulationError, KIND_SIMULATION),
+    (Overloaded, KIND_OVERLOADED),
     (ValueError, KIND_VALUE),
     (TypeError, KIND_TYPE),
 )

@@ -1,0 +1,518 @@
+"""Asyncio front door: continuous batching over the batch engine.
+
+The paper's throughput numbers assume the datapath is handed full
+batches; real traffic is a stream of individual requests arriving at
+random times.  This module closes that gap the way serving systems for
+any fixed-function accelerator do — **continuous batching**: requests
+enter one at a time through :meth:`Frontend.submit`, land in a per-kind
+queue, and a coalescer flushes a batch to the existing fault-isolated
+:class:`~repro.serve.engine.BatchEngine` when either
+
+* the queue reaches ``max_batch`` (**flush on size**), or
+* the oldest queued request has waited ``max_wait_ms`` (**flush on
+  deadline**),
+
+whichever comes first.  The engine call runs in an executor thread so
+the event loop never blocks; each caller's future is resolved from the
+engine's typed per-item :class:`~repro.serve.faults.Ok` /
+:class:`~repro.serve.faults.Failed` outcomes, so one poisoned request
+rejects exactly one caller and a worker-chunk crash or timeout is
+recovered by the engine before the front door ever sees it.
+
+Admission control is explicit.  Every kind's queue is bounded
+(``max_queue``); when it is full the configured policy decides:
+
+* ``"block"``  — the submitter awaits until the coalescer drains space
+  (backpressure propagates to the producer, nothing is lost);
+* ``"reject"`` — :meth:`Frontend.submit` raises the typed
+  :class:`~repro.serve.faults.Overloaded` error immediately
+  (:meth:`Frontend.submit_outcome` returns the equivalent ``Failed``
+  envelope instead of raising);
+* ``"shed"``   — the *oldest* queued request is resolved with an
+  ``overloaded`` failure and the new one is admitted (freshest-first
+  under overload).
+
+:meth:`Frontend.aclose` drains gracefully: admission closes, every
+already-queued request is flushed and resolved, then the coalescers and
+the dispatch executor shut down.  ``aclose(drain=False)`` abandons the
+queue instead, resolving each pending future with a ``cancelled``
+failure — either way **every admitted future resolves exactly once**.
+
+Everything observable is recorded into :mod:`repro.obs`:
+``repro_frontend_queue_depth`` (per-kind gauge, ``mode="max"`` high
+water), ``repro_frontend_batch_size`` / ``repro_frontend_flush_wait_seconds``
+histograms, ``repro_frontend_e2e_latency_seconds`` per-request
+end-to-end latency, ``repro_frontend_admissions_total`` and
+``repro_frontend_flushes_total`` counters.  A per-instance
+:class:`FrontendStats` mirrors the same numbers for one-process
+benchmarks and the ``repro serve`` CLI report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..obs import MetricsRegistry, get_registry
+from ..obs.metrics import Reservoir
+from .engine import BatchEngine, default_engine
+from .faults import (
+    KIND_CANCELLED,
+    KIND_OVERLOADED,
+    Failed,
+    Overloaded,
+    classify_exception,
+)
+
+__all__ = [
+    "Frontend",
+    "FrontendClosed",
+    "FrontendConfig",
+    "FrontendStats",
+    "JOB_KINDS",
+]
+
+#: Job kinds the front door accepts — the BatchEngine job vocabulary.
+#: ``fault`` is the engine's test hook (crash/hang injection) and rides
+#: along so chaos tests can abuse the full dispatch path.
+JOB_KINDS = ("sm", "dh", "verify", "fault")
+
+#: Friendly aliases accepted by :meth:`Frontend.submit`.
+_KIND_ALIASES = {"scalarmult": "sm"}
+
+_POLICIES = ("block", "reject", "shed")
+
+#: Flush-reason label values of ``repro_frontend_flushes_total``.
+FLUSH_SIZE = "size"
+FLUSH_DEADLINE = "deadline"
+FLUSH_DRAIN = "drain"
+
+
+class FrontendClosed(RuntimeError):
+    """Submission after :meth:`Frontend.aclose` began (permanent)."""
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Tuning knobs of the coalescer and admission controller.
+
+    Attributes:
+        max_batch: flush as soon as a kind's queue holds this many
+            requests (the size half of size-or-deadline).
+        max_wait_ms: flush when the oldest queued request has waited
+            this long (the deadline half).  This is the latency price a
+            lone request pays to give later arrivals a chance to share
+            its batch — see docs/serving.md for the tuning note.
+        max_queue: per-kind admission bound; beyond it ``policy``
+            applies.
+        policy: ``"block"`` / ``"reject"`` / ``"shed"`` (see module
+            docstring).
+        workers: engine fan-out per flush (0 = serial in-process).
+        min_chunk: chunking hint forwarded to the engine — a flush
+            smaller than ``min_chunk`` per worker degrades to fewer
+            workers or the serial path instead of paying pool fan-out.
+        dedup: forwarded to the engine (repeated identical requests in
+            one flush are computed once).
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+    policy: str = "block"
+    workers: int = 0
+    min_chunk: int = 4
+    dedup: bool = True
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+
+
+@dataclass
+class FrontendStats:
+    """One front door's life-to-date serving picture (single process).
+
+    The registry carries the same numbers for export/merge; this mirror
+    exists so benchmarks and the CLI can report without scraping.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    shed: int = 0
+    cancelled: int = 0
+    flushes: Dict[str, int] = field(default_factory=dict)
+    batch_sizes: Reservoir = field(default_factory=lambda: Reservoir(cap=1024))
+    flush_waits: Reservoir = field(default_factory=lambda: Reservoir(cap=1024))
+    e2e_latencies: Reservoir = field(default_factory=lambda: Reservoir(cap=4096))
+
+    @property
+    def flush_count(self) -> int:
+        return sum(self.flushes.values())
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batch_sizes.mean
+
+    def report(self) -> str:
+        reasons = ", ".join(
+            f"{reason}={count}" for reason, count in sorted(self.flushes.items())
+        ) or "none"
+        lines = [
+            f"submitted        : {self.submitted}",
+            f"completed        : {self.completed} ok / {self.failed} failed",
+            f"admission        : {self.rejected} rejected / {self.shed} shed"
+            + (f" / {self.cancelled} cancelled" if self.cancelled else ""),
+            f"flushes          : {self.flush_count} ({reasons})",
+            f"batch size       : mean {self.mean_batch_size:.1f}"
+            f"  p50 {self.batch_sizes.percentile(50):.0f}"
+            f"  max {max(self.batch_sizes, default=0):.0f}",
+            f"time-to-flush    : p50 {self.flush_waits.percentile(50) * 1e3:.1f} ms"
+            f"  p99 {self.flush_waits.percentile(99) * 1e3:.1f} ms",
+            f"e2e latency      : p50 {self.e2e_latencies.percentile(50) * 1e3:.1f} ms"
+            f"  p99 {self.e2e_latencies.percentile(99) * 1e3:.1f} ms",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in a lane."""
+
+    kind: str
+    payload: Any
+    future: "asyncio.Future[Any]"
+    enqueued_at: float
+
+    def resolve(self, outcome: Any) -> None:
+        """Resolve the caller's future exactly once (idempotent)."""
+        if not self.future.done():
+            self.future.set_result(outcome)
+
+
+class _Lane:
+    """Per-kind queue + the coalescer state that drains it."""
+
+    __slots__ = ("kind", "queue", "arrival", "space", "task")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.queue: Deque[_Pending] = deque()
+        #: Set on every admission; the coalescer clears and re-awaits.
+        self.arrival = asyncio.Event()
+        #: Notified after every flush so blocked submitters re-check.
+        self.space = asyncio.Condition()
+        self.task: Optional[asyncio.Task] = None
+
+
+class Frontend:
+    """The asyncio front door: submit one request, share a batch.
+
+    Construct inside a running event loop (lanes are created lazily on
+    first submit, so construction itself is loop-free), submit with::
+
+        frontend = Frontend(engine, max_batch=32, max_wait_ms=2.0)
+        secret = await frontend.submit("dh", (private, peer_public))
+        ...
+        await frontend.aclose()       # graceful drain
+
+    or as an async context manager (``async with Frontend(...) as fe:``).
+
+    :meth:`submit` returns the raw per-item value (point / digest /
+    verdict) and raises the re-materialized exception if the engine
+    isolated the request as :class:`~repro.serve.faults.Failed`;
+    :meth:`submit_outcome` never raises for per-item failures and
+    returns the typed ``Ok``/``Failed`` envelope instead.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[BatchEngine] = None,
+        config: Optional[FrontendConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        **overrides: Any,
+    ):
+        self.engine = engine if engine is not None else default_engine()
+        self.config = replace(config or FrontendConfig(), **overrides)
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.stats = FrontendStats()
+        self._lanes: Dict[str, _Lane] = {}
+        self._closed = False
+        self._draining = False
+        # One dispatch thread: the engine shares a single simulator, so
+        # flushes (across kinds) serialize here instead of racing it.
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- submission ----------------------------------------------------
+    async def submit(self, kind: str, payload: Any) -> Any:
+        """Submit one request; return its value or raise its failure.
+
+        Raises :class:`~repro.serve.faults.Overloaded` when the
+        ``reject`` policy refuses admission (or a queued request is
+        shed / abandoned), :class:`FrontendClosed` after
+        :meth:`aclose`, and the re-materialized per-item exception
+        (``SmallOrderPoint``, ``DecodingError``, ...) when the engine
+        isolated this request as failed.
+        """
+        outcome = await self.submit_outcome(kind, payload)
+        if isinstance(outcome, Failed):
+            raise outcome.to_exception()
+        return outcome.value
+
+    async def submit_outcome(self, kind: str, payload: Any) -> Any:
+        """Like :meth:`submit` but returns the ``Ok``/``Failed`` envelope.
+
+        Only admission-time conditions raise (:class:`FrontendClosed`,
+        a bad ``kind``, :class:`~repro.serve.faults.Overloaded` under
+        the ``reject`` policy); execution outcomes — including shed and
+        drain-cancelled requests — come back as envelopes.
+        """
+        kind = _KIND_ALIASES.get(kind, kind)
+        if kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {kind!r}; choose from {JOB_KINDS}")
+        if self._closed:
+            raise FrontendClosed("frontend is closed to new submissions")
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            kind=kind,
+            payload=payload,
+            future=loop.create_future(),
+            enqueued_at=time.perf_counter(),
+        )
+        lane = self._lane(kind)
+        await self._admit(lane, pending)
+        outcome = await pending.future
+        elapsed = time.perf_counter() - pending.enqueued_at
+        self.stats.e2e_latencies.append(elapsed)
+        self.metrics.histogram(
+            "repro_frontend_e2e_latency_seconds", kind=kind
+        ).observe(elapsed)
+        return outcome
+
+    async def _admit(self, lane: _Lane, pending: _Pending) -> None:
+        cfg = self.config
+        m = self.metrics
+        if cfg.policy == "reject" and len(lane.queue) >= cfg.max_queue:
+            self.stats.rejected += 1
+            m.counter(
+                "repro_frontend_admissions_total",
+                kind=lane.kind, outcome="rejected",
+            ).inc()
+            raise Overloaded(
+                f"{lane.kind} queue full ({cfg.max_queue}); request rejected"
+            )
+        if cfg.policy == "block":
+            while len(lane.queue) >= cfg.max_queue:
+                async with lane.space:
+                    if len(lane.queue) < cfg.max_queue:
+                        break
+                    if self._draining:
+                        # Woken by shutdown, not by space: this request
+                        # was never admitted, so refusing it keeps the
+                        # resolve-exactly-once contract for the queue.
+                        self.stats.rejected += 1
+                        m.counter(
+                            "repro_frontend_admissions_total",
+                            kind=lane.kind, outcome="rejected",
+                        ).inc()
+                        raise Overloaded(
+                            f"{lane.kind} queue still full at shutdown; "
+                            "blocked request refused"
+                        )
+                    await lane.space.wait()
+        elif cfg.policy == "shed" and len(lane.queue) >= cfg.max_queue:
+            oldest = lane.queue.popleft()
+            oldest.resolve(
+                Failed(
+                    kind=KIND_OVERLOADED,
+                    message=f"shed from full {lane.kind} queue by a newer arrival",
+                    latency=time.perf_counter() - oldest.enqueued_at,
+                )
+            )
+            self.stats.shed += 1
+            m.counter(
+                "repro_frontend_admissions_total", kind=lane.kind, outcome="shed"
+            ).inc()
+        lane.queue.append(pending)
+        self.stats.submitted += 1
+        m.counter(
+            "repro_frontend_admissions_total", kind=lane.kind, outcome="accepted"
+        ).inc()
+        m.gauge("repro_frontend_queue_depth", mode="max", kind=lane.kind).set(
+            len(lane.queue)
+        )
+        lane.arrival.set()
+
+    def _lane(self, kind: str) -> _Lane:
+        lane = self._lanes.get(kind)
+        if lane is None:
+            lane = self._lanes[kind] = _Lane(kind)
+            lane.task = asyncio.get_running_loop().create_task(
+                self._coalesce(lane), name=f"repro-frontend-{kind}"
+            )
+        return lane
+
+    # -- the coalescer -------------------------------------------------
+    async def _coalesce(self, lane: _Lane) -> None:
+        """Drain one lane forever: wait, coalesce, flush, resolve."""
+        cfg = self.config
+        max_wait = cfg.max_wait_ms / 1000.0
+        while True:
+            # Sleep until the lane has at least one request (or drain).
+            while not lane.queue:
+                if self._draining:
+                    return
+                lane.arrival.clear()
+                await lane.arrival.wait()
+            # Coalesce: hold the flush until size or deadline.
+            deadline = lane.queue[0].enqueued_at + max_wait
+            while len(lane.queue) < cfg.max_batch and not self._draining:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                lane.arrival.clear()
+                try:
+                    await asyncio.wait_for(lane.arrival.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            if len(lane.queue) >= cfg.max_batch:
+                reason = FLUSH_SIZE
+            elif self._draining:
+                reason = FLUSH_DRAIN
+            else:
+                reason = FLUSH_DEADLINE
+            batch = [
+                lane.queue.popleft()
+                for _ in range(min(cfg.max_batch, len(lane.queue)))
+            ]
+            if not batch:
+                # A non-draining close emptied the queue while we were
+                # waiting out the deadline: nothing to dispatch.
+                continue
+            async with lane.space:
+                lane.space.notify_all()
+            self.metrics.gauge(
+                "repro_frontend_queue_depth", mode="max", kind=lane.kind
+            ).set(len(lane.queue))
+            await self._flush(lane.kind, batch, reason)
+
+    async def _flush(self, kind: str, batch: List[_Pending], reason: str) -> None:
+        """Dispatch one coalesced batch and resolve every future in it."""
+        now = time.perf_counter()
+        wait = now - batch[0].enqueued_at
+        m = self.metrics
+        m.counter("repro_frontend_flushes_total", kind=kind, reason=reason).inc()
+        m.histogram(
+            "repro_frontend_batch_size", buckets=_BATCH_SIZE_BUCKETS, kind=kind
+        ).observe(len(batch))
+        m.histogram("repro_frontend_flush_wait_seconds", kind=kind).observe(wait)
+        self.stats.flushes[reason] = self.stats.flushes.get(reason, 0) + 1
+        self.stats.batch_sizes.append(len(batch))
+        self.stats.flush_waits.append(wait)
+
+        cfg = self.config
+        jobs = [(p.kind, p.payload) for p in batch]
+        loop = asyncio.get_running_loop()
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-frontend-dispatch"
+            )
+        try:
+            result = await loop.run_in_executor(
+                self._executor,
+                lambda: self.engine.run_jobs(
+                    jobs,
+                    workers=cfg.workers,
+                    dedup=cfg.dedup,
+                    min_chunk=cfg.min_chunk,
+                ),
+            )
+            outcomes = result.outcomes
+        except Exception as exc:
+            # The whole flush exploded before per-item isolation could
+            # apply (the engine itself failed).  Every caller in the
+            # batch gets the same typed failure; the front door stays up.
+            failure_kind = classify_exception(exc)
+            outcomes = [
+                Failed(kind=failure_kind, message=str(exc), index=i)
+                for i in range(len(batch))
+            ]
+            m.counter("repro_frontend_flush_errors_total", kind=kind).inc()
+        for pending, outcome in zip(batch, outcomes):
+            if isinstance(outcome, Failed):
+                self.stats.failed += 1
+            else:
+                self.stats.completed += 1
+            pending.resolve(outcome)
+
+    # -- lifecycle -----------------------------------------------------
+    async def aclose(self, drain: bool = True) -> None:
+        """Close admission and shut down.
+
+        ``drain=True`` (default) flushes and resolves every queued
+        request before returning; ``drain=False`` abandons the queue,
+        resolving each pending future with a ``cancelled`` failure.
+        Idempotent; afterwards :meth:`submit` raises
+        :class:`FrontendClosed`.
+        """
+        self._closed = True
+        self._draining = True
+        if not drain:
+            # Abandon what is still queued; an in-flight flush (already
+            # popped from its queue) is never cancelled — its callers
+            # still get real outcomes, so every future resolves once.
+            for lane in self._lanes.values():
+                while lane.queue:
+                    pending = lane.queue.popleft()
+                    pending.resolve(
+                        Failed(
+                            kind=KIND_CANCELLED,
+                            message="frontend closed without draining",
+                            latency=time.perf_counter() - pending.enqueued_at,
+                        )
+                    )
+                    self.stats.cancelled += 1
+        tasks = []
+        for lane in self._lanes.values():
+            lane.arrival.set()
+            async with lane.space:
+                lane.space.notify_all()
+            if lane.task is not None:
+                tasks.append(lane.task)
+        for task in tasks:
+            await task
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "Frontend":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued across every kind."""
+        return sum(len(lane.queue) for lane in self._lanes.values())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+#: Batch-size histogram buckets (requests per flush, not seconds).
+_BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)

@@ -8,7 +8,9 @@ required to agree **bit for bit**:
   coordinates, endomorphisms, GLV-SAC recoding);
 * plain double-and-add and wNAF ladders on the affine group law;
 * the **cycle-accurate simulated datapath** through the batch engine
-  (trace -> cached schedule -> microcode -> golden-checked simulation);
+  (trace -> cached schedule -> microcode -> golden-checked simulation),
+  both as one pre-formed batch and streamed one request at a time
+  through the continuous-batching asyncio front door;
 * an independent short-**Weierstrass** model over F_{p^2}: map the
   point through the birational Edwards -> Montgomery -> Weierstrass
   maps, run a textbook chord-and-tangent ladder there, map back;
@@ -179,6 +181,50 @@ class TestDHContractDifferential:
         kb = rng.randrange(2**255).to_bytes(32, "little")
         pub_a, pub_b = x25519(ka), x25519(kb)
         assert x25519(ka, pub_b) == x25519(kb, pub_a)
+
+
+class TestFrontendStreamDifferential:
+    N_STREAM = 10
+
+    def test_streamed_requests_match_preformed_batch(self, engine):
+        """Continuous batching changes arrival, never results.
+
+        N random (scalar, point) requests stream through
+        ``Frontend.submit`` concurrently — with seeded arrival jitter so
+        the coalescer produces a mix of size- and deadline-triggered
+        flushes — and must agree **bit for bit** with a single
+        pre-formed ``batch_scalarmult`` over the same inputs.
+        """
+        import asyncio
+
+        from repro.serve import Frontend
+
+        rng = _rng("frontend-stream")
+        cases = [
+            (rng.randrange(2**256), random_subgroup_point(rng))
+            for _ in range(self.N_STREAM)
+        ]
+        direct = engine.batch_scalarmult(
+            [k for k, _ in cases], points=[p for _, p in cases]
+        )
+        assert direct.ok_count == len(cases)
+
+        async def stream():
+            async with Frontend(engine, max_batch=4, max_wait_ms=10.0) as fe:
+                async def one(k, p):
+                    # Seeded jitter staggers arrivals across flushes.
+                    await asyncio.sleep(rng.random() * 0.02)
+                    return await fe.submit("sm", (k, p))
+
+                results = await asyncio.gather(*[one(k, p) for k, p in cases])
+            assert fe.stats.completed == len(cases)
+            return results
+
+        streamed = asyncio.run(asyncio.wait_for(stream(), timeout=300))
+        for (k, _), via_frontend, via_batch in zip(cases, streamed, direct):
+            assert (via_frontend.x, via_frontend.y) == (via_batch.x, via_batch.y), (
+                f"k={k:#x} (frontend vs batch)"
+            )
 
 
 class TestSignatureDifferential:
