@@ -18,6 +18,11 @@ Run modes:
   comparison at toy sizes (CI-friendly, ~15 s); asserts correctness
   and that batching wins at all, not the full 5x (which needs the
   one-time costs amortized over a real batch).
+* ``python benchmarks/bench_batch_engine.py --pool-compare`` — the
+  resident-pool acceptance: warm parallel batches through the
+  supervised resident pool vs. a pool torn down and rebuilt per batch
+  call (the pre-resilience behaviour).  Reports the throughput delta
+  and exits non-zero if the resident pool loses more than 10%.
 * ``pytest benchmarks/bench_batch_engine.py`` — pytest-benchmark
   harness over the warm path, plus the correctness cross-check.
 """
@@ -81,6 +86,36 @@ def run_comparison(n: int = 64, baseline_n: int = 64, workers: int = 0, seed: in
     }
 
 
+def run_pool_comparison(n: int = 32, workers: int = 2, rounds: int = 3,
+                        seed: int = 0x5EED):
+    """Warm parallel batches: resident supervised pool vs per-call pool.
+
+    Both engines pay one untimed warm-up batch (pool build + worker
+    flow compilation); the timed rounds then show what the resident
+    pool saves — a ``resident_pool=False`` engine tears its pool down
+    after every batch and pays fork + per-worker artifact compilation
+    again on the next one.  Returns ops/s per mode and the ratio.
+    """
+    from repro.serve import BatchEngine
+
+    rng = random.Random(seed)
+    scalars = [rng.randrange(2**256) for _ in range(n)]
+    out = {}
+    for label, resident in (("resident", True), ("per_call", False)):
+        engine = BatchEngine(resident_pool=resident)
+        engine.warm()
+        engine.batch_scalarmult(scalars, workers=workers)  # untimed warm-up
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            result = engine.batch_scalarmult(scalars, workers=workers)
+            assert result.ok_count == n
+        elapsed = time.perf_counter() - t0
+        engine.close()
+        out[label] = (rounds * n) / elapsed
+    out["delta"] = out["resident"] / out["per_call"]
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -91,7 +126,29 @@ def main(argv=None) -> int:
                         help="independent flows to time (default = --n; smoke: 2)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes for the batch (0 = serial)")
+    parser.add_argument("--pool-compare", action="store_true",
+                        help="compare the resident supervised pool against "
+                             "a pool rebuilt per batch call")
     args = parser.parse_args(argv)
+
+    if args.pool_compare:
+        n = args.n if args.n is not None else (8 if args.smoke else 32)
+        workers = args.workers or 2
+        rounds = 2 if args.smoke else 3
+        print(f"pool-compare: {rounds} timed batches of {n} across "
+              f"{workers} workers, resident vs per-call pool...")
+        r = run_pool_comparison(n=n, workers=workers, rounds=rounds)
+        print()
+        print(f"resident pool : {r['resident']:6.2f} ops/s")
+        print(f"per-call pool : {r['per_call']:6.2f} ops/s")
+        print(f"delta         : {r['delta']:.2f}x "
+              f"(resident / per-call; >= 1.0 means the resident pool wins)")
+        if r["delta"] < 0.9:
+            print("FAIL: resident pool regressed warm-batch throughput "
+                  "by more than 10%", file=sys.stderr)
+            return 1
+        print("PASS: resident pool at or above per-call parity")
+        return 0
 
     n = args.n if args.n is not None else (6 if args.smoke else 64)
     baseline_n = args.baseline if args.baseline is not None else (2 if args.smoke else n)

@@ -227,6 +227,15 @@ def cmd_serve(argv=()) -> int:
     outcomes.  ``--poison R`` turns a ratio R of the stream into
     invalid DH requests to show streamed per-item isolation.
 
+    ``--deadline-ms`` bounds every request end-to-end (expired requests
+    resolve with a typed ``deadline`` failure instead of executing
+    late); ``--retries`` sets the engine's transient-chunk retry
+    budget; ``--chaos`` turns a slice of the stream into worker kills
+    and hangs (forcing ``workers>=2``) to demo the supervised pool,
+    retry ladder, and circuit breaker end to end — the run still exits
+    zero as long as every request resolves exactly once with ``Ok`` or
+    a typed ``Failed``.
+
     ``--smoke`` shrinks the run for CI (N=8); ``--metrics-out PATH``
     exports the process-wide registry (JSON + Prometheus) afterwards.
     A sample of results is re-checked against the math layer; any
@@ -257,6 +266,17 @@ def cmd_serve(argv=()) -> int:
     parser.add_argument("--poison", type=float, default=0.0, metavar="R",
                         help="ratio in [0, 1) of requests replaced by "
                              "invalid DH material (streamed isolation demo)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="end-to-end request deadline in ms "
+                             "(default: unbounded)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="pool executions a transient chunk fault may "
+                             "consume before serial recovery (default: "
+                             "engine default, 3)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="inject worker kills and hangs into the "
+                             "stream (forces workers>=2) to exercise the "
+                             "fault-tolerance layer")
     parser.add_argument("--seed", type=lambda s: int(s, 0), default=0x5EED)
     parser.add_argument("--smoke", action="store_true",
                         help="small CI-sized run (N=8)")
@@ -269,19 +289,35 @@ def cmd_serve(argv=()) -> int:
     if not 0.0 <= args.poison < 1.0:
         print("--poison must be in [0, 1)", file=sys.stderr)
         return 2
+    if args.retries is not None and args.retries < 1:
+        print("--retries must be >= 1", file=sys.stderr)
+        return 2
+    if args.chaos:
+        args.workers = max(args.workers, 2)
 
     from .curve.encoding import encode_point
     from .curve.point import AffinePoint
     from .curve.scalarmult import scalar_mul_fourq
     from .dsa import fourq_dh
-    from .serve import BatchEngine, Failed, Frontend, Overloaded
+    from .serve import (
+        BatchEngine,
+        Failed,
+        Frontend,
+        FrontendConfig,
+        Overloaded,
+        RetryPolicy,
+    )
 
     rng = random.Random(args.seed)
     generator = AffinePoint.generator()
     me = fourq_dh.generate_keypair(rng)
     requests = []  # (kind, payload, poisoned?)
     for i in range(args.n):
-        if args.poison and rng.random() < args.poison:
+        if args.chaos and i % 4 == 2:
+            # Every 4th request is sabotage: a worker kill or a hang.
+            mode = ("exit",) if (i // 4) % 2 == 0 else ("sleep", 3.0)
+            requests.append(("fault", mode, False))
+        elif args.poison and rng.random() < args.poison:
             bad = (encode_point(AffinePoint.identity())
                    if i % 2 == 0 else b"\xff" * 32)
             requests.append(("dh", (me.private, bad), True))
@@ -293,7 +329,15 @@ def cmd_serve(argv=()) -> int:
         delays.append(t)
 
     print(f"Warming the engine (one-time curve artifacts + first flow)...")
-    engine = BatchEngine()
+    engine_kwargs = {}
+    if args.retries is not None:
+        engine_kwargs["retry_policy"] = RetryPolicy(max_attempts=args.retries)
+    if args.chaos:
+        # Short chunk budget so injected hangs convert to restarts in
+        # demo time; seeded retry jitter keeps the run reproducible.
+        engine_kwargs["chunk_timeout"] = 1.0
+        engine_kwargs["retry_rng"] = random.Random(args.seed ^ 0xC4A05)
+    engine = BatchEngine(**engine_kwargs)
     engine.warm()
 
     arrival = ("saturation (no pacing)" if args.rate <= 0
@@ -301,7 +345,9 @@ def cmd_serve(argv=()) -> int:
     print(f"Streaming {args.n} requests, {arrival}; "
           f"max_batch={args.max_batch}, max_wait={args.max_wait_ms:g} ms, "
           f"policy={args.policy}"
-          + (f", poison={args.poison:g}" if args.poison else "") + "...")
+          + (f", poison={args.poison:g}" if args.poison else "")
+          + (f", deadline={args.deadline_ms:g} ms" if args.deadline_ms else "")
+          + (", CHAOS" if args.chaos else "") + "...")
 
     async def driver():
         fe = Frontend(
@@ -311,6 +357,11 @@ def cmd_serve(argv=()) -> int:
             max_queue=args.queue,
             policy=args.policy,
             workers=args.workers,
+            # Under chaos even a tiny fault-lane flush must fan out, or
+            # the sabotage degrades to the serial path and never
+            # touches the pool it is meant to break.
+            min_chunk=1 if args.chaos else FrontendConfig().min_chunk,
+            default_deadline_ms=args.deadline_ms,
         )
 
         async def client(kind, payload, delay):
@@ -337,13 +388,32 @@ def cmd_serve(argv=()) -> int:
     print(f"wall time        : {wall * 1e3:.1f} ms")
     print(f"streamed ops/s   : {completed / wall:.2f}")
 
-    # Self-check: every clean scalarmult matches the math layer, every
-    # poisoned request failed as a typed envelope (and nothing else did).
-    checked = mismatches = 0
+    # Self-check: every request resolved exactly once; every clean
+    # scalarmult matches the math layer; every poisoned request failed
+    # as a typed envelope (and nothing else did).  With a deadline or
+    # under chaos, a typed deadline failure is a legitimate outcome.
+    if len(outcomes) != len(requests):
+        print(f"FAIL: {len(requests)} requests but {len(outcomes)} outcomes",
+              file=sys.stderr)
+        return 1
+    checked = mismatches = deadline_hits = 0
     for (kind, payload, poisoned), outcome in zip(requests, outcomes):
-        if poisoned != isinstance(outcome, Failed):
+        failed = isinstance(outcome, Failed)
+        if failed and outcome.kind == "deadline" and args.deadline_ms:
+            deadline_hits += 1
+            continue
+        if kind == "fault":
+            # Chaos sabotage: recovered Ok marker or a typed failure —
+            # anything but an unresolved/untyped outcome is a pass.
+            if failed and outcome.kind not in (
+                "deadline", "timeout", "worker_crash", "circuit_open",
+                "internal",
+            ):
+                mismatches += 1
+            continue
+        if poisoned != failed:
             mismatches += 1
-        elif kind == "sm" and not isinstance(outcome, Failed) and checked < 8:
+        elif kind == "sm" and not failed and checked < 8:
             k, p = payload
             ref = scalar_mul_fourq(k, p)
             if (outcome.value.x, outcome.value.y) != (ref.x, ref.y):
@@ -354,7 +424,20 @@ def cmd_serve(argv=()) -> int:
               file=sys.stderr)
         return 1
     print(f"PASS: outcomes verified ({checked} re-checked against the "
-          f"math layer)")
+          f"math layer"
+          + (f"; {deadline_hits} hit their deadline" if deadline_hits else "")
+          + ")")
+
+    if args.chaos or args.workers:
+        sup = engine.supervisor
+        if sup is not None:
+            d = sup.describe()
+            print(f"pool             : {d['state']} ({d['workers']} workers, "
+                  f"{d['restarts']} restarts)")
+        b = engine.breaker.describe()
+        print(f"breaker          : {b['state']} "
+              f"({b['consecutive_failures']} consecutive failures)")
+    engine.close()
 
     if args.metrics_out:
         from .obs import ExportSchemaError, get_registry, write_exports

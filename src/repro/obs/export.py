@@ -341,6 +341,69 @@ def render_report(doc: dict) -> str:
             )
         lines.append("")
 
+    _POOL_STATES = {0: "stopped", 1: "running", 2: "broken"}
+    _BREAKER_STATES = {0: "closed", 1: "half_open", 2: "open"}
+    pool_gauges = list(_find(doc, "gauges", "repro_pool_state"))
+    breaker_gauges = list(_find(doc, "gauges", "repro_breaker_state"))
+    retry_attempts = counter_value(doc, "repro_retry_attempts_total")
+    deadline_expired = counter_value(doc, "repro_deadline_expired_total")
+    if pool_gauges or breaker_gauges or retry_attempts or deadline_expired:
+        lines.append("resilience (pool / breaker / retries / deadlines)")
+        for entry in pool_gauges:
+            state = _POOL_STATES.get(int(entry["value"]), str(entry["value"]))
+            workers_rows = list(_find(doc, "gauges", "repro_pool_workers"))
+            workers = workers_rows[0]["value"] if workers_rows else 0
+            lines.append(f"  pool state  : {state} ({int(workers)} workers)")
+        restarts = [
+            e for e in doc["counters"] if e["name"] == "repro_pool_restarts_total"
+        ]
+        for entry in restarts:
+            reason = entry["labels"].get("reason", "?")
+            lines.append(f"  pool restart[{reason}]: {int(entry['value'])}")
+        denied = counter_value(doc, "repro_pool_restart_denied_total")
+        if denied:
+            lines.append(f"  pool restarts denied  : {int(denied)}")
+        for entry in _find(doc, "counters", "repro_pool_health_probes_total"):
+            outcome = entry["labels"].get("outcome", "?")
+            lines.append(f"  health probe[{outcome}]: {int(entry['value'])}")
+        for entry in breaker_gauges:
+            state = _BREAKER_STATES.get(int(entry["value"]), str(entry["value"]))
+            lines.append(f"  breaker state : {state}")
+        trips = counter_value(doc, "repro_breaker_trips_total")
+        shorts = counter_value(doc, "repro_breaker_short_circuits_total")
+        if trips or shorts:
+            lines.append(
+                f"  breaker trips : {int(trips)}"
+                f"  (short-circuited batches: {int(shorts)})"
+            )
+        if retry_attempts:
+            exhausted = counter_value(doc, "repro_retry_exhausted_total")
+            lines.append(
+                f"  retry attempts: {int(retry_attempts)}"
+                f"  (exhausted: {int(exhausted)})"
+            )
+            backoff = list(
+                _find(doc, "histograms", "repro_retry_backoff_seconds")
+            )
+            if backoff and backoff[0]["count"]:
+                entry = backoff[0]
+                lines.append(
+                    f"  retry backoff : n={entry['count']}"
+                    f"  p50 {entry['p50'] * 1e3:.1f} ms"
+                    f"  p99 {entry['p99'] * 1e3:.1f} ms"
+                )
+        if deadline_expired:
+            by_stage = {
+                e["labels"].get("stage", "?"): e["value"]
+                for e in doc["counters"]
+                if e["name"] == "repro_deadline_expired_total"
+            }
+            stages = ", ".join(
+                f"{stage}={int(v)}" for stage, v in sorted(by_stage.items())
+            )
+            lines.append(f"  deadlines hit : {int(deadline_expired)} ({stages})")
+        lines.append("")
+
     lines.append(
         f"series: {len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
         f"{len(doc['histograms'])} histograms"

@@ -18,13 +18,21 @@ requests the way the paper's chip amortizes its silicon:
   cache hit rate, simulated cycles per op, ``errors_by_kind``,
   requeue/retry counters;
 * :class:`~repro.serve.frontend.Frontend` — the asyncio front door:
-  streamed ``await submit(kind, payload)`` requests coalesced into
-  engine batches (flush on size-or-deadline), bounded queues with
-  block/reject/shed admission control, graceful drain, and
-  :mod:`repro.obs` instrumentation.
+  streamed ``await submit(kind, payload, deadline=...)`` requests
+  coalesced into engine batches (flush on size-or-deadline), bounded
+  queues with block/reject/shed admission control, end-to-end request
+  deadlines, graceful drain, and :mod:`repro.obs` instrumentation;
+* :mod:`~repro.serve.resilience` — the fault-tolerance primitives:
+  :class:`~repro.serve.resilience.Deadline` budgets,
+  :class:`~repro.serve.resilience.RetryPolicy` jittered backoff,
+  the :class:`~repro.serve.resilience.PoolSupervisor` that keeps one
+  worker pool resident (restart-storm limited by a
+  :class:`~repro.serve.resilience.TokenBucket`), and the
+  :class:`~repro.serve.resilience.CircuitBreaker` that degrades the
+  engine to serial in-process execution when the pool keeps failing.
 
-See ``docs/serving.md`` for the cache-keying, verification, and error
-contract stories.
+See ``docs/serving.md`` for the cache-keying, verification,
+fault-tolerance, and error contract stories.
 """
 
 from .cache import FlowArtifactCache, FlowArtifacts, trace_shape_key
@@ -36,8 +44,23 @@ from .engine import (
     batch_verify,
     default_engine,
 )
-from .faults import BatchItemError, Failed, Ok, Overloaded, classify_exception
+from .faults import (
+    BatchItemError,
+    CircuitOpen,
+    DeadlineExceeded,
+    Failed,
+    Ok,
+    Overloaded,
+    classify_exception,
+)
 from .frontend import Frontend, FrontendClosed, FrontendConfig, FrontendStats
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    PoolSupervisor,
+    RetryPolicy,
+    TokenBucket,
+)
 from .stats import BatchStats, percentile
 
 __all__ = [
@@ -45,6 +68,10 @@ __all__ = [
     "BatchItemError",
     "BatchResult",
     "BatchStats",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
     "Failed",
     "FlowArtifactCache",
     "FlowArtifacts",
@@ -54,6 +81,9 @@ __all__ = [
     "FrontendStats",
     "Ok",
     "Overloaded",
+    "PoolSupervisor",
+    "RetryPolicy",
+    "TokenBucket",
     "batch_dh",
     "batch_scalarmult",
     "batch_verify",

@@ -21,10 +21,24 @@ serial fallback) and per-batch :class:`~repro.serve.stats.BatchStats`.
 Fault isolation is a first-class layer: a rejected request (small-order
 peer key, malformed encoding, bad signature material) costs exactly one
 :class:`~repro.serve.faults.Failed` slot in the result, never the batch.
-``strict=True`` restores raise-on-first-error.  In worker fan-out mode a
-chunk whose worker process dies or exceeds its time budget is requeued
-and re-run serially in the parent (bounded, order still preserved), so
-one crashed worker cannot discard results that were already computed.
+``strict=True`` restores raise-on-first-error.
+
+Worker fan-out runs on a *supervised resident pool*
+(:class:`~repro.serve.resilience.PoolSupervisor`): one
+``ProcessPoolExecutor`` kept alive across batches — so resident workers
+keep their flow-artifact caches warm — health-probed and restarted on
+breakage, with a token bucket preventing restart storms.  A chunk whose
+worker dies or exceeds its time budget is retried on the pool with
+jittered exponential backoff (:class:`~repro.serve.resilience.RetryPolicy`),
+bounded by attempts *and* the batch deadline; chunks that exhaust their
+attempts are recovered serially in the parent (order still preserved),
+so one crashed worker cannot discard results that were already computed.
+A :class:`~repro.serve.resilience.CircuitBreaker` trips after repeated
+pool-level failures and degrades the engine to serial in-process
+execution (or fail-fast ``circuit_open`` failures) until a half-open
+probe proves the pool healthy again.  A ``deadline`` budget on any batch
+entry point bounds queue-to-result time: items the budget cannot cover
+resolve as typed ``Failed(KIND_DEADLINE)`` instead of running late.
 
 Every simulated result is still verified bit-for-bit: the golden check
 proves each writeback against the freshly traced reference, and the
@@ -36,6 +50,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -56,13 +71,31 @@ from ..rtl.datapath import DatapathSimulator
 from ..sched.jobshop import MachineSpec
 from ..trace.program import trace_double_scalar_mult, trace_scalar_mult
 from .cache import FlowArtifactCache
-from .faults import Failed, Ok, classify_exception
+from .faults import (
+    KIND_CIRCUIT_OPEN,
+    KIND_DEADLINE,
+    KIND_INTERNAL,
+    DeadlineExceeded,
+    Failed,
+    Ok,
+    classify_exception,
+)
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    PoolSupervisor,
+    RetryPolicy,
+    TokenBucket,
+)
 from .stats import BatchStats
 
-#: Each requeued chunk is recovered by at most this many re-executions
-#: (the recovery runs serially in the parent, where per-item isolation
-#: cannot lose the rest of the batch, so one attempt always completes).
-MAX_CHUNK_RETRIES = 1
+#: Circuit-breaker degradation modes: ``serial`` keeps serving in-process
+#: (correct but slower), ``fail_fast`` rejects with ``circuit_open``.
+_CIRCUIT_MODES = ("serial", "fail_fast")
+
+#: Sentinel for "no result landed in this slot yet" (None/False are
+#: legitimate job results, so identity — not truthiness — marks holes).
+_UNSET = object()
 
 
 @dataclass
@@ -135,14 +168,35 @@ class BatchEngine:
         check_golden: keep the per-writeback golden check on (the
             bit-exact proof; disabling trades verification for speed).
         chunk_timeout: optional per-chunk time budget (seconds) in
-            worker fan-out mode; a chunk that exceeds it is requeued and
-            re-run serially in the parent (``None`` = wait forever).
+            worker fan-out mode; a chunk that exceeds it is requeued,
+            the pool is restarted (a hung worker cannot be cancelled),
+            and the chunk is retried or recovered serially
+            (``None`` = wait forever).
         metrics: registry the engine (and the flows it runs) records
             into — per-item outcome counters, latency histograms, cache
             event counters, chunk-recovery counters.  Defaults to the
             process-wide :func:`repro.obs.get_registry`; worker
             processes record into their own registry and ship a
             snapshot home, merged here like ``BatchStats`` partials.
+        retry_policy: jittered-exponential-backoff budget for transient
+            chunk faults in fan-out mode (see
+            :class:`~repro.serve.resilience.RetryPolicy`;
+            ``max_attempts=1`` reproduces the historical one-shot
+            requeue).
+        breaker: circuit breaker guarding the pool; trips to serial
+            degradation (or fail-fast, see ``circuit_mode``) after
+            consecutive pool-level failures.
+        restart_limiter: token bucket gating pool restarts so a
+            crash-looping worker cannot fork-bomb the host.
+        resident_pool: keep the worker pool alive across batch calls
+            (the default — resident workers retain warm artifact
+            caches); ``False`` restores build-per-batch, for
+            comparison benchmarks.
+        circuit_mode: what an open breaker does to fan-out batches —
+            ``"serial"`` runs them in-process, ``"fail_fast"`` fails
+            every item with ``KIND_CIRCUIT_OPEN``.
+        retry_rng: RNG drawn for backoff jitter; seed it for a
+            reproducible retry schedule (tests do).
     """
 
     def __init__(
@@ -153,12 +207,33 @@ class BatchEngine:
         check_golden: bool = True,
         chunk_timeout: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        restart_limiter: Optional[TokenBucket] = None,
+        resident_pool: bool = True,
+        circuit_mode: str = "serial",
+        retry_rng: Optional[random.Random] = None,
     ):
+        if circuit_mode not in _CIRCUIT_MODES:
+            raise ValueError(f"circuit_mode must be one of {_CIRCUIT_MODES}")
         self.machine = machine or MachineSpec()
         self.scheduler = scheduler
         self.check_golden = check_golden
         self.chunk_timeout = chunk_timeout
         self.metrics = metrics if metrics is not None else get_registry()
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker(metrics=self.metrics)
+        )
+        self.resident_pool = resident_pool
+        self.circuit_mode = circuit_mode
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random()
+        self._restart_limiter = (
+            restart_limiter
+            if restart_limiter is not None
+            else TokenBucket(capacity=8, refill_seconds=1.0)
+        )
+        self._supervisor: Optional[PoolSupervisor] = None
         self.cache = FlowArtifactCache(max_entries=cache_entries)
         self.simulator = DatapathSimulator(
             mult_depth=self.machine.mult_latency,
@@ -283,6 +358,7 @@ class BatchEngine:
         dedup: bool = True,
         strict: bool = False,
         min_chunk: Optional[int] = None,
+        deadline: Optional[Any] = None,
     ) -> BatchResult:
         """Compute [k_i]P (shared ``point``) or [k_i]P_i (``points``).
 
@@ -301,6 +377,11 @@ class BatchEngine:
                 this many jobs (see :meth:`plan_workers`); small flushes
                 degrade to fewer workers or the serial path instead of
                 paying pool fan-out.
+            deadline: optional time budget — seconds (relative) or a
+                :class:`~repro.serve.resilience.Deadline`.  Work the
+                budget cannot cover resolves as typed
+                ``Failed(KIND_DEADLINE)`` envelopes; retries and chunk
+                waits never outlive it.
         """
         if points is not None and point is not None:
             raise ValueError("pass either point or points, not both")
@@ -310,7 +391,8 @@ class BatchEngine:
         pts = list(points) if points is not None else [base] * len(scalars)
         jobs = [("sm", (k, p)) for k, p in zip(scalars, pts)]
         return self._run_batch(
-            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk
+            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk,
+            deadline=deadline,
         )
 
     def batch_dh(
@@ -321,6 +403,7 @@ class BatchEngine:
         dedup: bool = True,
         strict: bool = False,
         min_chunk: Optional[int] = None,
+        deadline: Optional[Any] = None,
     ) -> BatchResult:
         """Co-factored ECDH against many peers with one private key.
 
@@ -333,7 +416,8 @@ class BatchEngine:
         """
         jobs = [("dh", (private, pub)) for pub in peer_publics]
         return self._run_batch(
-            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk
+            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk,
+            deadline=deadline,
         )
 
     def batch_verify(
@@ -343,6 +427,7 @@ class BatchEngine:
         dedup: bool = False,
         strict: bool = False,
         min_chunk: Optional[int] = None,
+        deadline: Optional[Any] = None,
     ) -> BatchResult:
         """Verify many Schnorr (public, message, signature) triples.
 
@@ -356,7 +441,8 @@ class BatchEngine:
         """
         jobs = [("verify", item) for item in items]
         return self._run_batch(
-            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk
+            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk,
+            deadline=deadline,
         )
 
     def run_jobs(
@@ -366,6 +452,7 @@ class BatchEngine:
         dedup: bool = True,
         strict: bool = False,
         min_chunk: Optional[int] = None,
+        deadline: Optional[Any] = None,
     ) -> BatchResult:
         """Run a pre-formed mixed-kind job list (the front-door entry).
 
@@ -376,11 +463,13 @@ class BatchEngine:
         holds typed requests (e.g. :class:`repro.serve.frontend.Frontend`)
         can dispatch one flush without re-entering a per-kind wrapper.
         Semantics are identical to the wrappers: input order preserved,
-        per-item fault isolation, ``min_chunk``-aware fan-out.
+        per-item fault isolation, ``min_chunk``-aware fan-out,
+        ``deadline``-bounded execution (seconds or a
+        :class:`~repro.serve.resilience.Deadline`).
         """
         return self._run_batch(
             list(jobs), workers=workers, dedup=dedup, strict=strict,
-            min_chunk=min_chunk,
+            min_chunk=min_chunk, deadline=deadline,
         )
 
     @staticmethod
@@ -471,6 +560,7 @@ class BatchEngine:
         jobs: Sequence[Tuple[str, Any]],
         dedup: bool,
         strict: bool = False,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[List[Any], BatchStats]:
         """Run jobs in-process with per-item fault isolation.
 
@@ -478,6 +568,10 @@ class BatchEngine:
         typed :class:`~repro.serve.faults.Failed` envelope; with
         ``strict=True`` the first failure propagates as the original
         exception, aborting the remainder — the historical behaviour.
+        With a ``deadline``, items the expired budget cannot cover fail
+        with ``KIND_DEADLINE`` instead of running late (an item already
+        underway when the budget runs out still completes — the budget
+        gates starts, it does not abort simulations).
         """
         stats = BatchStats()
         seen: Dict[tuple, Any] = {}
@@ -485,6 +579,23 @@ class BatchEngine:
         m = self.metrics
         cache0 = self.cache.stats_snapshot()
         for kind, payload in jobs:
+            if deadline is not None and deadline.expired:
+                if strict:
+                    raise DeadlineExceeded(
+                        f"batch deadline expired with {len(jobs) - len(results)} "
+                        "item(s) unstarted"
+                    )
+                failure = Failed(
+                    kind=KIND_DEADLINE,
+                    message="deadline expired before this item could start",
+                )
+                stats.record_error(KIND_DEADLINE, 0.0)
+                stats.ops += 1
+                m.counter("repro_serve_items_total", kind=kind, outcome="error").inc()
+                m.counter("repro_serve_errors_total", kind=KIND_DEADLINE).inc()
+                m.counter("repro_deadline_expired_total", stage="engine").inc()
+                results.append(failure)
+                continue
             key = self._job_key(kind, payload) if dedup else None
             if key is not None and key in seen:
                 results.append(seen[key])
@@ -544,18 +655,38 @@ class BatchEngine:
         dedup: bool,
         strict: bool = False,
         min_chunk: Optional[int] = None,
+        deadline: Optional[Any] = None,
     ) -> BatchResult:
         t0 = time.perf_counter()
+        deadline = Deadline.coerce(deadline)
         workers = self.plan_workers(len(jobs), workers or 0, min_chunk)
-        if workers > 1:
+        if workers > 1 and not self.breaker.allow():
+            # Breaker open: the pool keeps failing, stop paying for it.
+            self.metrics.counter("repro_breaker_short_circuits_total").inc()
+            if self.circuit_mode == "fail_fast":
+                results, stats = self._fail_fast_circuit(jobs)
+            else:
+                results, stats = self._run_serial(
+                    jobs, dedup, strict=strict, deadline=deadline
+                )
+        elif workers > 1:
             try:
-                results, stats = self._run_parallel(jobs, workers, dedup)
+                results, stats = self._run_parallel(
+                    jobs, workers, dedup, deadline=deadline
+                )
             except (ImportError, OSError, pickle.PicklingError):
                 # Pools unavailable (restricted platform) or the jobs
                 # cannot cross a process boundary: serial fallback.
-                results, stats = self._run_serial(jobs, dedup, strict=strict)
+                self.breaker.record_failure()
+                results, stats = self._run_serial(
+                    jobs, dedup, strict=strict, deadline=deadline
+                )
         else:
-            results, stats = self._run_serial(jobs, dedup, strict=strict)
+            results, stats = self._run_serial(
+                jobs, dedup, strict=strict, deadline=deadline
+            )
+        if not self.resident_pool and self._supervisor is not None:
+            self._supervisor.shutdown()
         stats.wall_seconds = time.perf_counter() - t0
         results = [
             replace(r, index=i) if isinstance(r, Failed) else r
@@ -568,27 +699,39 @@ class BatchEngine:
             batch.raise_any()
         return batch
 
-    def _run_parallel(
-        self, jobs: Sequence[Tuple[str, Any]], workers: int, dedup: bool
+    def _fail_fast_circuit(
+        self, jobs: Sequence[Tuple[str, Any]]
     ) -> Tuple[List[Any], BatchStats]:
-        """Fan chunks out across worker processes with crash containment.
+        """Every item fails typed ``circuit_open`` — nothing executes."""
+        stats = BatchStats()
+        results: List[Any] = []
+        for kind, _ in jobs:
+            stats.record_error(KIND_CIRCUIT_OPEN, 0.0)
+            stats.ops += 1
+            self.metrics.counter(
+                "repro_serve_items_total", kind=kind, outcome="error"
+            ).inc()
+            self.metrics.counter(
+                "repro_serve_errors_total", kind=KIND_CIRCUIT_OPEN
+            ).inc()
+            results.append(
+                Failed(
+                    kind=KIND_CIRCUIT_OPEN,
+                    message="worker-pool circuit breaker is open (fail_fast mode)",
+                )
+            )
+        return results, stats
 
-        A chunk whose worker dies, whose result times out, or whose
-        payload fails to pickle is *requeued* and re-run serially in the
-        parent (at most :data:`MAX_CHUNK_RETRIES` recovery runs each,
-        order preserved), so one poisoned chunk cannot discard the
-        results the healthy workers already produced.
-        """
+    # -- the resident pool ---------------------------------------------
+    def _make_pool(self, workers: int):
+        """Factory the supervisor rebuilds pools with (fork + initializer)."""
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures import TimeoutError as FutureTimeout
 
         try:
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = mp.get_context("spawn")
-
-        chunks = _chunk(list(enumerate(jobs)), workers)
         config = _EngineConfig(
             mult_latency=self.machine.mult_latency,
             addsub_latency=self.machine.addsub_latency,
@@ -598,68 +741,198 @@ class BatchEngine:
             scheduler=self.scheduler,
             cache_entries=self.cache.max_entries,
             check_golden=self.check_golden,
-            dedup=dedup,
         )
-        # Report the worker count actually used: never more than the
-        # number of non-empty chunks.
-        stats = BatchStats(workers=len(chunks))
-        ordered: List[Any] = [None] * len(jobs)
-        requeued: List[List] = []
-        timed_out = False
-        pool = ProcessPoolExecutor(
-            max_workers=len(chunks),
+        return ProcessPoolExecutor(
+            max_workers=workers,
             mp_context=ctx,
             initializer=_worker_init,
             initargs=(config,),
         )
-        try:
-            futures = [(pool.submit(_worker_run_chunk, ch), ch) for ch in chunks]
-            for future, chunk in futures:
+
+    def _ensure_supervisor(self) -> PoolSupervisor:
+        if self._supervisor is None:
+            self._supervisor = PoolSupervisor(
+                factory=self._make_pool,
+                limiter=self._restart_limiter,
+                metrics=self.metrics,
+            )
+        return self._supervisor
+
+    @property
+    def supervisor(self) -> Optional[PoolSupervisor]:
+        """The resident pool's supervisor (``None`` until first fan-out)."""
+        return self._supervisor
+
+    def close(self) -> None:
+        """Shut the resident worker pool down (idempotent; it rebuilds
+        lazily on the next fan-out batch)."""
+        if self._supervisor is not None:
+            self._supervisor.shutdown()
+
+    def _requeue(self, stats: BatchStats, chunk, attempts: int, pending) -> None:
+        stats.requeues += 1
+        self.metrics.counter("repro_serve_chunk_requeues_total").inc()
+        pending.append((chunk, attempts + 1))
+
+    def _run_parallel(
+        self,
+        jobs: Sequence[Tuple[str, Any]],
+        workers: int,
+        dedup: bool,
+        deadline: Optional[Deadline] = None,
+    ) -> Tuple[List[Any], BatchStats]:
+        """Fan chunks out across the supervised resident pool.
+
+        Recovery ladder for a chunk whose worker dies (whole pool
+        breaks) or whose result times out (hung worker — the pool is
+        restarted, stragglers killed):
+
+        1. retry on the (restarted) pool with jittered exponential
+           backoff, up to ``retry_policy.max_attempts`` pool executions
+           and never past the batch ``deadline``;
+        2. serial re-run in the parent, where per-item isolation cannot
+           lose the rest of the batch (with an expired deadline this
+           resolves each remaining item as ``Failed(KIND_DEADLINE)``).
+
+        A chunk-*local* fault (payload or result cannot cross the
+        process boundary) skips the pool retries — they would fail
+        identically — and goes straight to serial recovery.  Healthy
+        chunks' results are never discarded by any of this, and every
+        slot resolves exactly once.  The breaker hears one verdict per
+        batch: failure if the pool ended broken or a restart was denied,
+        success otherwise.
+        """
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        chunks = _chunk(list(enumerate(jobs)), workers)
+        # Report the worker count actually used: never more than the
+        # number of non-empty chunks.
+        stats = BatchStats(workers=len(chunks))
+        ordered: List[Any] = [_UNSET] * len(jobs)
+        supervisor = self._ensure_supervisor()
+        policy = self.retry_policy
+        m = self.metrics
+
+        pending = [(ch, 0) for ch in chunks]  # (chunk, pool attempts so far)
+        recover: List[List] = []  # chunks bound for serial parent recovery
+        pool_ok = True
+        retry_round = 0
+        while pending:
+            if deadline is not None and deadline.expired:
+                recover.extend(ch for ch, _ in pending)
+                break
+            pool = supervisor.ensure(len(chunks))
+            if pool is None:
+                # Pool cannot be (re)built — storm limiter denied the
+                # restart or the build/probe failed.  Serial recovery
+                # for everything still pending.
+                pool_ok = False
+                recover.extend(ch for ch, _ in pending)
+                break
+            if retry_round:
+                for _ in pending:
+                    stats.retries += 1
+                    m.counter("repro_retry_attempts_total").inc()
+                    m.counter("repro_serve_chunk_retries_total").inc()
+            round_items, pending = pending, []
+            hung = broken = False
+            futures = []
+            for ch, attempts in round_items:
+                try:
+                    futures.append(
+                        (pool.submit(_worker_run_chunk, ch, dedup), ch, attempts)
+                    )
+                except Exception:
+                    broken = True
+                    self._requeue(stats, ch, attempts, pending)
+            for future, ch, attempts in futures:
+                timeout = self.chunk_timeout
+                if deadline is not None:
+                    timeout = deadline.clamp(timeout)
                 try:
                     indices, chunk_results, chunk_stats, obs_snap = future.result(
-                        timeout=self.chunk_timeout
+                        timeout=timeout
                     )
                 except FutureTimeout:
                     future.cancel()
-                    timed_out = True
-                    stats.requeues += 1
-                    self.metrics.counter("repro_serve_chunk_requeues_total").inc()
-                    requeued.append(chunk)
+                    hung = True
+                    self._requeue(stats, ch, attempts, pending)
+                    continue
+                except BrokenProcessPool:
+                    # Worker death kills the whole pool: this chunk and
+                    # every still-pending one land here and are requeued
+                    # for a retry on the restarted pool.
+                    broken = True
+                    self._requeue(stats, ch, attempts, pending)
                     continue
                 except Exception:
-                    # Worker death raises BrokenProcessPool and kills the
-                    # whole pool: this chunk and every still-pending one
-                    # land here and are requeued.  Unpicklable payloads
-                    # or results surface the same way.
+                    # Chunk-local fault (unpicklable payload or result):
+                    # the pool is healthy and a retry would fail the
+                    # same way — straight to serial recovery.
                     stats.requeues += 1
-                    self.metrics.counter("repro_serve_chunk_requeues_total").inc()
-                    requeued.append(chunk)
+                    m.counter("repro_serve_chunk_requeues_total").inc()
+                    recover.append(ch)
                     continue
                 for i, r in zip(indices, chunk_results):
                     ordered[i] = r
                 stats.merge(chunk_stats)
                 # Fold the worker's metric partials home exactly like the
                 # BatchStats partials above.
-                self.metrics.merge_snapshot(obs_snap)
-        finally:
-            if timed_out:
-                # A worker that blew its time budget may be hung; kill
-                # the stragglers so reaping the pool cannot block (and
-                # interpreter shutdown cannot stall on the join).
-                for proc in (getattr(pool, "_processes", None) or {}).values():
-                    proc.kill()
-            pool.shutdown(wait=True, cancel_futures=True)
-        for chunk in requeued:
-            # Bounded recovery (MAX_CHUNK_RETRIES serial runs; the
-            # serial path isolates per item, so one run completes).
+                m.merge_snapshot(obs_snap)
+            if hung or broken:
+                # A hung worker cannot be cancelled through the executor
+                # and a broken pool stays broken: restart (kill
+                # stragglers, rebuild, health-probe) before any retry.
+                supervisor.mark_broken("timeout" if hung else "crash")
+                if not supervisor.restart(
+                    "timeout" if hung else "crash", workers=len(chunks)
+                ):
+                    pool_ok = False
+                    recover.extend(ch for ch, _ in pending)
+                    pending = []
+            # Chunks out of pool attempts fall through to serial recovery.
+            still = []
+            for ch, attempts in pending:
+                if attempts >= policy.max_attempts:
+                    m.counter("repro_retry_exhausted_total").inc()
+                    recover.append(ch)
+                else:
+                    still.append((ch, attempts))
+            pending = still
+            if pending:
+                delay = policy.backoff(retry_round, self._retry_rng)
+                if deadline is not None:
+                    delay = deadline.clamp(delay)
+                m.histogram("repro_retry_backoff_seconds").observe(delay)
+                if delay > 0:
+                    time.sleep(delay)
+                retry_round += 1
+        if pool_ok:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+        for chunk in recover:
+            # Guaranteed recovery: the serial path isolates per item, so
+            # one run always completes (late items fail typed under an
+            # expired deadline rather than running past it).
             indices = [i for i, _ in chunk]
             chunk_jobs = [job for _, job in chunk]
-            chunk_results, chunk_stats = self._run_serial(chunk_jobs, dedup)
+            chunk_results, chunk_stats = self._run_serial(
+                chunk_jobs, dedup, deadline=deadline
+            )
             stats.retries += 1
-            self.metrics.counter("repro_serve_chunk_retries_total").inc()
+            m.counter("repro_serve_chunk_retries_total").inc()
             for i, r in zip(indices, chunk_results):
                 ordered[i] = r
             stats.merge(chunk_stats)
+        for i, r in enumerate(ordered):
+            if r is _UNSET:  # pragma: no cover - defensive backstop
+                ordered[i] = Failed(
+                    kind=KIND_INTERNAL,
+                    message="chunk result lost during recovery",
+                )
+                stats.record_error(KIND_INTERNAL, 0.0)
         stats.ops = len(jobs)
         return ordered, stats
 
@@ -669,7 +942,12 @@ class BatchEngine:
 
 @dataclass(frozen=True)
 class _EngineConfig:
-    """Picklable construction recipe for worker-side engines."""
+    """Picklable construction recipe for worker-side engines.
+
+    Holds only per-*engine* settings: per-batch knobs (``dedup``) travel
+    with each :func:`_worker_run_chunk` call instead, so the resident
+    pool never needs a rebuild just because a batch flipped a flag.
+    """
 
     mult_latency: int
     addsub_latency: int
@@ -679,11 +957,9 @@ class _EngineConfig:
     scheduler: str
     cache_entries: int
     check_golden: bool
-    dedup: bool
 
 
 _WORKER_ENGINE: Optional[BatchEngine] = None
-_WORKER_DEDUP: bool = True
 #: True only inside pool worker processes (set by the initializer); the
 #: fault-injection job kind keys off this so injected crashes can never
 #: take down the parent.
@@ -691,7 +967,7 @@ _IN_WORKER: bool = False
 
 
 def _worker_init(config: _EngineConfig) -> None:
-    global _WORKER_ENGINE, _WORKER_DEDUP, _IN_WORKER
+    global _WORKER_ENGINE, _IN_WORKER
     _IN_WORKER = True
     _WORKER_ENGINE = BatchEngine(
         machine=MachineSpec(
@@ -704,11 +980,12 @@ def _worker_init(config: _EngineConfig) -> None:
         scheduler=config.scheduler,
         cache_entries=config.cache_entries,
         check_golden=config.check_golden,
+        # Workers never fan out themselves; their engine needs no pool.
+        resident_pool=False,
     )
-    _WORKER_DEDUP = config.dedup
 
 
-def _worker_run_chunk(chunk):
+def _worker_run_chunk(chunk, dedup: bool = True):
     indices = [i for i, _ in chunk]
     jobs = [job for _, job in chunk]
     assert _WORKER_ENGINE is not None
@@ -720,7 +997,7 @@ def _worker_run_chunk(chunk):
     # the fork.
     registry = get_registry()
     registry.reset()
-    results, stats = _WORKER_ENGINE._run_serial(jobs, _WORKER_DEDUP)
+    results, stats = _WORKER_ENGINE._run_serial(jobs, dedup)
     return indices, results, stats, registry.snapshot()
 
 

@@ -50,6 +50,31 @@ class Overloaded(RuntimeError):
     """
 
 
+class DeadlineExceeded(RuntimeError):
+    """The request's end-to-end deadline expired before it completed.
+
+    Carried as the ``deadline`` failure kind: a request that expires
+    while queued in the front door, blocked at admission, or still
+    unstarted when the engine's batch budget runs out resolves with
+    this typed failure instead of executing late.  The request may
+    have been partially attempted (a retried chunk), but its result
+    was never delivered — retrying with a larger budget is safe for
+    idempotent workloads like scalar multiplication.
+    """
+
+
+class CircuitOpen(RuntimeError):
+    """The worker-pool circuit breaker is open and fail-fast is on.
+
+    Carried as the ``circuit_open`` failure kind when the engine is
+    configured with ``circuit_mode="fail_fast"``; in the default
+    ``"serial"`` mode an open breaker degrades to in-process execution
+    instead and this kind never reaches callers.  Transient: the
+    breaker half-opens after its reset timeout and closes again once a
+    probe batch succeeds.
+    """
+
+
 #: Stable error-kind strings (the keys of ``BatchStats.errors_by_kind``).
 KIND_SMALL_ORDER = "small_order"
 KIND_DECODING = "decoding"
@@ -60,16 +85,21 @@ KIND_WORKER_CRASH = "worker_crash"
 KIND_TIMEOUT = "timeout"
 KIND_OVERLOADED = "overloaded"
 KIND_CANCELLED = "cancelled"
+KIND_DEADLINE = "deadline"
+KIND_CIRCUIT_OPEN = "circuit_open"
 KIND_INTERNAL = "internal"
 
 #: Classification table, most specific class first (DecodingError and
-#: SmallOrderPoint are ValueError subclasses; SimulationError is a
-#: RuntimeError subclass).
+#: SmallOrderPoint are ValueError subclasses; SimulationError,
+#: Overloaded, DeadlineExceeded, and CircuitOpen are RuntimeError
+#: subclasses).
 _CLASSIFICATION = (
     (SmallOrderPoint, KIND_SMALL_ORDER),
     (DecodingError, KIND_DECODING),
     (SimulationError, KIND_SIMULATION),
     (Overloaded, KIND_OVERLOADED),
+    (DeadlineExceeded, KIND_DEADLINE),
+    (CircuitOpen, KIND_CIRCUIT_OPEN),
     (ValueError, KIND_VALUE),
     (TypeError, KIND_TYPE),
 )

@@ -32,6 +32,16 @@ Admission control is explicit.  Every kind's queue is bounded
   ``overloaded`` failure and the new one is admitted (freshest-first
   under overload).
 
+Deadlines are end-to-end.  ``submit(kind, payload, deadline=seconds)``
+(or a config-wide ``default_deadline_ms``) bounds queue-to-result time:
+a request that expires while still queued resolves with a typed
+``Failed(KIND_DEADLINE)`` and **never dispatches**; a request blocked
+at admission under the ``block`` policy gives up when its deadline (or
+the separate ``admission_timeout_ms``) runs out instead of waiting
+forever; and a flush whose members all carry deadlines hands the engine
+the largest remaining budget, so retries and chunk waits downstream
+never outlive the callers either.
+
 :meth:`Frontend.aclose` drains gracefully: admission closes, every
 already-queued request is flushed and resolved, then the coalescers and
 the dispatch executor shut down.  ``aclose(drain=False)`` abandons the
@@ -62,11 +72,13 @@ from ..obs.metrics import Reservoir
 from .engine import BatchEngine, default_engine
 from .faults import (
     KIND_CANCELLED,
+    KIND_DEADLINE,
     KIND_OVERLOADED,
     Failed,
     Overloaded,
     classify_exception,
 )
+from .resilience import Deadline
 
 __all__ = [
     "Frontend",
@@ -117,6 +129,13 @@ class FrontendConfig:
             workers or the serial path instead of paying pool fan-out.
         dedup: forwarded to the engine (repeated identical requests in
             one flush are computed once).
+        default_deadline_ms: end-to-end deadline applied to every
+            submission that does not pass its own ``deadline=``
+            (``None`` = unbounded, the historical behaviour).
+        admission_timeout_ms: how long a submitter may stay blocked at
+            a full queue under the ``block`` policy before the front
+            door gives up with :class:`~repro.serve.faults.Overloaded`
+            (``None`` = bounded only by the request's own deadline).
     """
 
     max_batch: int = 32
@@ -126,6 +145,8 @@ class FrontendConfig:
     workers: int = 0
     min_chunk: int = 4
     dedup: bool = True
+    default_deadline_ms: Optional[float] = None
+    admission_timeout_ms: Optional[float] = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -136,6 +157,10 @@ class FrontendConfig:
             raise ValueError("max_queue must be >= 1")
         if self.policy not in _POLICIES:
             raise ValueError(f"policy must be one of {_POLICIES}")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be > 0 (or None)")
+        if self.admission_timeout_ms is not None and self.admission_timeout_ms <= 0:
+            raise ValueError("admission_timeout_ms must be > 0 (or None)")
 
 
 @dataclass
@@ -152,6 +177,7 @@ class FrontendStats:
     rejected: int = 0
     shed: int = 0
     cancelled: int = 0
+    deadline_expired: int = 0
     flushes: Dict[str, int] = field(default_factory=dict)
     batch_sizes: Reservoir = field(default_factory=lambda: Reservoir(cap=1024))
     flush_waits: Reservoir = field(default_factory=lambda: Reservoir(cap=1024))
@@ -173,7 +199,12 @@ class FrontendStats:
             f"submitted        : {self.submitted}",
             f"completed        : {self.completed} ok / {self.failed} failed",
             f"admission        : {self.rejected} rejected / {self.shed} shed"
-            + (f" / {self.cancelled} cancelled" if self.cancelled else ""),
+            + (f" / {self.cancelled} cancelled" if self.cancelled else "")
+            + (
+                f" / {self.deadline_expired} deadline-expired"
+                if self.deadline_expired
+                else ""
+            ),
             f"flushes          : {self.flush_count} ({reasons})",
             f"batch size       : mean {self.mean_batch_size:.1f}"
             f"  p50 {self.batch_sizes.percentile(50):.0f}"
@@ -194,6 +225,8 @@ class _Pending:
     payload: Any
     future: "asyncio.Future[Any]"
     enqueued_at: float
+    #: Absolute ``time.perf_counter()`` expiry, or None for unbounded.
+    expires_at: Optional[float] = None
 
     def resolve(self, outcome: Any) -> None:
         """Resolve the caller's future exactly once (idempotent)."""
@@ -255,8 +288,14 @@ class Frontend:
         self._executor: Optional[ThreadPoolExecutor] = None
 
     # -- submission ----------------------------------------------------
-    async def submit(self, kind: str, payload: Any) -> Any:
+    async def submit(self, kind: str, payload: Any, deadline: Optional[float] = None) -> Any:
         """Submit one request; return its value or raise its failure.
+
+        ``deadline`` is an end-to-end budget in seconds (defaulting to
+        the config's ``default_deadline_ms``): if it expires while the
+        request is queued or blocked at admission, the request never
+        executes and this raises
+        :class:`~repro.serve.faults.DeadlineExceeded`.
 
         Raises :class:`~repro.serve.faults.Overloaded` when the
         ``reject`` policy refuses admission (or a queued request is
@@ -265,30 +304,39 @@ class Frontend:
         (``SmallOrderPoint``, ``DecodingError``, ...) when the engine
         isolated this request as failed.
         """
-        outcome = await self.submit_outcome(kind, payload)
+        outcome = await self.submit_outcome(kind, payload, deadline=deadline)
         if isinstance(outcome, Failed):
             raise outcome.to_exception()
         return outcome.value
 
-    async def submit_outcome(self, kind: str, payload: Any) -> Any:
+    async def submit_outcome(
+        self, kind: str, payload: Any, deadline: Optional[float] = None
+    ) -> Any:
         """Like :meth:`submit` but returns the ``Ok``/``Failed`` envelope.
 
         Only admission-time conditions raise (:class:`FrontendClosed`,
         a bad ``kind``, :class:`~repro.serve.faults.Overloaded` under
-        the ``reject`` policy); execution outcomes — including shed and
-        drain-cancelled requests — come back as envelopes.
+        the ``reject`` policy or an admission timeout); execution
+        outcomes — including shed, drain-cancelled, and
+        deadline-expired requests — come back as envelopes.
         """
         kind = _KIND_ALIASES.get(kind, kind)
         if kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {kind!r}; choose from {JOB_KINDS}")
         if self._closed:
             raise FrontendClosed("frontend is closed to new submissions")
+        if deadline is None and self.config.default_deadline_ms is not None:
+            deadline = self.config.default_deadline_ms / 1000.0
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds (or None)")
+        now = time.perf_counter()
         loop = asyncio.get_running_loop()
         pending = _Pending(
             kind=kind,
             payload=payload,
             future=loop.create_future(),
-            enqueued_at=time.perf_counter(),
+            enqueued_at=now,
+            expires_at=None if deadline is None else now + deadline,
         )
         lane = self._lane(kind)
         await self._admit(lane, pending)
@@ -313,6 +361,12 @@ class Frontend:
                 f"{lane.kind} queue full ({cfg.max_queue}); request rejected"
             )
         if cfg.policy == "block":
+            # A blocked submitter waits for space, but never forever:
+            # the request's own deadline and the config's admission
+            # timeout both bound the wait (whichever is sooner).
+            timeout_at = None
+            if cfg.admission_timeout_ms is not None:
+                timeout_at = pending.enqueued_at + cfg.admission_timeout_ms / 1000.0
             while len(lane.queue) >= cfg.max_queue:
                 async with lane.space:
                     if len(lane.queue) < cfg.max_queue:
@@ -330,7 +384,50 @@ class Frontend:
                             f"{lane.kind} queue still full at shutdown; "
                             "blocked request refused"
                         )
-                    await lane.space.wait()
+                    now = time.perf_counter()
+                    if pending.expires_at is not None and now >= pending.expires_at:
+                        # The caller's budget ran out at the door: a
+                        # typed envelope, never an execution.
+                        self.stats.deadline_expired += 1
+                        m.counter(
+                            "repro_deadline_expired_total", stage="admission"
+                        ).inc()
+                        m.counter(
+                            "repro_frontend_admissions_total",
+                            kind=lane.kind, outcome="deadline",
+                        ).inc()
+                        pending.resolve(
+                            Failed(
+                                kind=KIND_DEADLINE,
+                                message=(
+                                    f"deadline expired while blocked at the "
+                                    f"full {lane.kind} queue"
+                                ),
+                                latency=now - pending.enqueued_at,
+                            )
+                        )
+                        return
+                    if timeout_at is not None and now >= timeout_at:
+                        self.stats.rejected += 1
+                        m.counter(
+                            "repro_frontend_admissions_total",
+                            kind=lane.kind, outcome="rejected",
+                        ).inc()
+                        raise Overloaded(
+                            f"{lane.kind} queue still full after "
+                            f"{cfg.admission_timeout_ms:g} ms admission timeout"
+                        )
+                    bounds = [
+                        b for b in (pending.expires_at, timeout_at)
+                        if b is not None
+                    ]
+                    wait_timeout = (min(bounds) - now) if bounds else None
+                    try:
+                        await asyncio.wait_for(
+                            lane.space.wait(), timeout=wait_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        continue  # re-check which bound fired
         elif cfg.policy == "shed" and len(lane.queue) >= cfg.max_queue:
             oldest = lane.queue.popleft()
             oldest.resolve(
@@ -375,17 +472,37 @@ class Frontend:
                     return
                 lane.arrival.clear()
                 await lane.arrival.wait()
-            # Coalesce: hold the flush until size or deadline.
+            # Coalesce: hold the flush until size or deadline.  Expired
+            # requests are swept out while we wait, so a dead-on-arrival
+            # deadline never rides into a dispatch.
+            await self._sweep_expired(lane)
+            if not lane.queue:
+                continue
             deadline = lane.queue[0].enqueued_at + max_wait
             while len(lane.queue) < cfg.max_batch and not self._draining:
-                remaining = deadline - time.perf_counter()
+                now = time.perf_counter()
+                remaining = deadline - now
                 if remaining <= 0:
                     break
+                expiries = [
+                    p.expires_at - now
+                    for p in lane.queue
+                    if p.expires_at is not None
+                ]
+                if expiries:
+                    remaining = min(remaining, max(min(expiries), 0.0))
                 lane.arrival.clear()
                 try:
                     await asyncio.wait_for(lane.arrival.wait(), timeout=remaining)
                 except asyncio.TimeoutError:
+                    pass
+                swept = await self._sweep_expired(lane)
+                if not swept and deadline - time.perf_counter() <= 0:
                     break
+                if not lane.queue:
+                    break
+            if not lane.queue:
+                continue
             if len(lane.queue) >= cfg.max_batch:
                 reason = FLUSH_SIZE
             elif self._draining:
@@ -407,6 +524,47 @@ class Frontend:
             ).set(len(lane.queue))
             await self._flush(lane.kind, batch, reason)
 
+    async def _sweep_expired(self, lane: _Lane) -> int:
+        """Resolve every expired queued request with a deadline failure.
+
+        Runs inside the coalescer between waits, so an expired request
+        is resolved (exactly once, with a typed envelope) instead of
+        dispatching late.  Returns how many requests were swept and
+        notifies blocked submitters about the freed space.
+        """
+        now = time.perf_counter()
+        expired: List[_Pending] = []
+        alive: List[_Pending] = []
+        for p in lane.queue:
+            (expired if p.expires_at is not None and now >= p.expires_at
+             else alive).append(p)
+        if not expired:
+            return 0
+        lane.queue.clear()
+        lane.queue.extend(alive)
+        m = self.metrics
+        for pending in expired:
+            self.stats.deadline_expired += 1
+            self.stats.failed += 1
+            m.counter("repro_deadline_expired_total", stage="queued").inc()
+            pending.resolve(
+                Failed(
+                    kind=KIND_DEADLINE,
+                    message=(
+                        f"deadline expired after "
+                        f"{(now - pending.enqueued_at) * 1e3:.1f} ms in the "
+                        f"{lane.kind} queue"
+                    ),
+                    latency=now - pending.enqueued_at,
+                )
+            )
+        m.gauge("repro_frontend_queue_depth", mode="max", kind=lane.kind).set(
+            len(lane.queue)
+        )
+        async with lane.space:
+            lane.space.notify_all()
+        return len(expired)
+
     async def _flush(self, kind: str, batch: List[_Pending], reason: str) -> None:
         """Dispatch one coalesced batch and resolve every future in it."""
         now = time.perf_counter()
@@ -423,6 +581,18 @@ class Frontend:
 
         cfg = self.config
         jobs = [(p.kind, p.payload) for p in batch]
+        kwargs: Dict[str, Any] = dict(
+            workers=cfg.workers, dedup=cfg.dedup, min_chunk=cfg.min_chunk
+        )
+        # When every caller in the batch carries a deadline, hand the
+        # engine the largest remaining budget so chunk waits and retries
+        # downstream never outlive the callers.  The kwarg is only
+        # passed when a budget exists, keeping plain engines (and test
+        # stubs) with the historical signature working.
+        if all(p.expires_at is not None for p in batch):
+            kwargs["deadline"] = Deadline(
+                max(p.expires_at for p in batch), clock=time.perf_counter
+            )
         loop = asyncio.get_running_loop()
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
@@ -431,12 +601,7 @@ class Frontend:
         try:
             result = await loop.run_in_executor(
                 self._executor,
-                lambda: self.engine.run_jobs(
-                    jobs,
-                    workers=cfg.workers,
-                    dedup=cfg.dedup,
-                    min_chunk=cfg.min_chunk,
-                ),
+                lambda: self.engine.run_jobs(jobs, **kwargs),
             )
             outcomes = result.outcomes
         except Exception as exc:

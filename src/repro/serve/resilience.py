@@ -1,0 +1,542 @@
+"""Fault-tolerance primitives for the serving stack.
+
+The paper's deployment pitch — an ECC engine fast enough to front
+production traffic — only holds if the engine survives the failures
+production traffic brings: worker processes dying mid-batch, hung
+simulations, restart storms, and overload.  This module provides the
+four mechanisms the serving layer composes into that story:
+
+* :class:`Deadline` — a monotonic time budget threaded from the front
+  door down to individual chunk waits, so no request is ever worked on
+  (or waited for) past the point its caller stopped caring;
+* :class:`RetryPolicy` — jittered exponential backoff for *transient*
+  chunk faults (worker death, timeout, pickling), bounded by both an
+  attempt count and the request deadline.  The jitter is drawn from a
+  caller-supplied ``random.Random``, so a seeded policy produces a
+  reproducible backoff schedule (the chaos tests depend on this);
+* :class:`TokenBucket` + :class:`PoolSupervisor` — one resident
+  ``ProcessPoolExecutor`` kept alive across batches, health-probed,
+  restarted on breakage, with the token bucket preventing a crash loop
+  from turning into a fork bomb;
+* :class:`CircuitBreaker` — closed → open → half-open.  After enough
+  consecutive pool failures the engine stops paying for a pool that
+  keeps dying and degrades to serial in-process execution
+  (correct-but-slower), probing the pool again after a cool-down.
+
+Everything here is clock-injectable (``clock=`` defaults to
+:func:`time.monotonic`) so the tests exercise expiry, refill, and
+half-open transitions without sleeping.
+
+State is exported through :mod:`repro.obs`: ``repro_pool_*``,
+``repro_breaker_*``, and ``repro_retry_*`` series — see
+``docs/observability.md`` for the full table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..obs import MetricsRegistry, get_registry
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "PoolSupervisor",
+    "RetryPolicy",
+    "TokenBucket",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "POOL_BROKEN",
+    "POOL_RUNNING",
+    "POOL_STOPPED",
+]
+
+
+# -- deadlines ----------------------------------------------------------
+
+
+class Deadline:
+    """A monotonic expiry point: "this work is worthless after t".
+
+    Created from a relative budget (:meth:`after`), carried by value
+    through the stack, and consulted wherever the engine is about to
+    spend time — queue waits, chunk waits, retry sleeps.  ``None`` is
+    the conventional "no deadline" spelling throughout the serving
+    layer, so :meth:`coerce` accepts ``None`` / seconds / ``Deadline``
+    and normalizes.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, expires_at: float, clock: Callable[[], float] = time.monotonic):
+        self.expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """The deadline ``seconds`` from now."""
+        return cls(clock() + seconds, clock=clock)
+
+    @classmethod
+    def coerce(cls, value) -> Optional["Deadline"]:
+        """Normalize ``None`` / seconds-budget / ``Deadline`` to a deadline."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls.after(float(value))
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def clamp(self, timeout: Optional[float]) -> float:
+        """``timeout`` bounded by the remaining budget (never negative)."""
+        remaining = max(0.0, self.remaining())
+        return remaining if timeout is None else min(timeout, remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+# -- retry policy -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded jittered exponential backoff for transient chunk faults.
+
+    Attributes:
+        max_attempts: total pool executions a chunk may consume (the
+            first try included).  After they are exhausted the engine
+            falls back to the guaranteed serial in-parent recovery run,
+            so ``max_attempts=1`` reproduces the historical one-shot
+            requeue behaviour.
+        base_delay: backoff before the first retry, in seconds.
+        multiplier: geometric growth factor per retry round.
+        max_delay: cap on any single backoff sleep.
+        jitter: fraction of the nominal delay randomized away;
+            ``0.5`` draws uniformly from ``[0.5 d, 1.5 d]``, ``0``
+            disables jitter entirely.  The draw comes from the
+            caller's ``random.Random``, so a seeded RNG makes the whole
+            schedule reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, retry_round: int, rng) -> float:
+        """Delay before retry ``retry_round`` (0-based), jittered."""
+        nominal = min(self.max_delay, self.base_delay * self.multiplier ** retry_round)
+        if self.jitter == 0.0 or nominal == 0.0:
+            return nominal
+        return nominal * (1.0 - self.jitter + 2.0 * self.jitter * rng.random())
+
+    def schedule(self, rng) -> list:
+        """The full backoff schedule (``max_attempts - 1`` sleeps).
+
+        Deterministic for a given RNG state — two policies walked with
+        equally-seeded RNGs produce identical schedules.
+        """
+        return [self.backoff(i, rng) for i in range(self.max_attempts - 1)]
+
+
+# -- restart-storm limiting ---------------------------------------------
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, one token per
+    ``refill_seconds`` back.
+
+    Gates pool restarts: a single crash is recovered instantly, but a
+    worker that dies the moment it is spawned cannot drive an unbounded
+    fork loop — once the burst is spent, restarts are denied until
+    tokens trickle back, and the engine degrades to serial execution
+    (the circuit breaker then keeps it there for a while).
+    """
+
+    __slots__ = ("capacity", "refill_seconds", "_tokens", "_last", "_clock")
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        refill_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if refill_seconds <= 0:
+            raise ValueError("refill_seconds must be > 0")
+        self.capacity = capacity
+        self.refill_seconds = refill_seconds
+        self._tokens = float(capacity)
+        self._last = clock()
+        self._clock = clock
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            float(self.capacity),
+            self._tokens + (now - self._last) / self.refill_seconds,
+        )
+        self._last = now
+
+    def try_acquire(self) -> bool:
+        """Take one token if available; never blocks."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (after refill accounting)."""
+        self._refill()
+        return self._tokens
+
+
+# -- circuit breaker ----------------------------------------------------
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+#: Gauge encoding of breaker state (``repro_breaker_state``).
+_BREAKER_STATE_VALUES = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed → open → half-open gate in front of the process pool.
+
+    ``record_failure()`` after every pool-level failure episode (a
+    batch whose pool broke, timed out past recovery, or could not be
+    restarted); ``record_success()`` after a batch whose parallel phase
+    ended healthy.  ``failure_threshold`` consecutive failures trip the
+    breaker **open**: :meth:`allow` answers ``False`` and the engine
+    degrades to serial in-process execution — the service stays correct
+    and available, just slower.  After ``reset_timeout`` seconds the
+    next :meth:`allow` admits exactly one **half-open** probe batch:
+    its success closes the breaker, its failure re-opens it for another
+    cool-down.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "pool",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.trips = 0
+        self._publish()
+
+    # -- state ----------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, accounting for cool-down expiry."""
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            return BREAKER_HALF_OPEN
+        return self._state
+
+    def _transition(self, to: str) -> None:
+        if to != self._state:
+            self._state = to
+            self.metrics.counter(
+                "repro_breaker_transitions_total", breaker=self.name, to=to
+            ).inc()
+        self._publish()
+
+    def _publish(self) -> None:
+        self.metrics.gauge("repro_breaker_state", breaker=self.name).set(
+            _BREAKER_STATE_VALUES[self._state]
+        )
+
+    # -- the gate --------------------------------------------------------
+    def allow(self) -> bool:
+        """May the next batch use the pool?  Half-open admits one probe."""
+        state = self.state
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_HALF_OPEN:
+            if self._state == BREAKER_OPEN:
+                # Cool-down elapsed: surface the half-open transition and
+                # admit this caller as the probe.
+                self._transition(BREAKER_HALF_OPEN)
+                return True
+            # Already probing: hold further traffic off the pool until
+            # the probe reports back.
+            return False
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._state != BREAKER_CLOSED:
+            self._transition(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._state == BREAKER_HALF_OPEN or (
+            self._state == BREAKER_CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self.trips += 1
+            self.metrics.counter(
+                "repro_breaker_trips_total", breaker=self.name
+            ).inc()
+            self._opened_at = self._clock()
+            self._transition(BREAKER_OPEN)
+        elif self._state == BREAKER_OPEN:
+            # Failure while open (e.g. a denied restart observed by a
+            # degraded batch): restart the cool-down window.
+            self._opened_at = self._clock()
+            self._publish()
+
+    def describe(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+            "failure_threshold": self.failure_threshold,
+            "reset_timeout": self.reset_timeout,
+        }
+
+
+# -- pool supervision ---------------------------------------------------
+
+POOL_STOPPED = "stopped"
+POOL_RUNNING = "running"
+POOL_BROKEN = "broken"
+
+#: Gauge encoding of pool state (``repro_pool_state``).
+_POOL_STATE_VALUES = {POOL_STOPPED: 0, POOL_RUNNING: 1, POOL_BROKEN: 2}
+
+#: The value a healthy worker returns from the health probe.
+_PROBE_TOKEN = 0x900D
+
+
+def _pool_health_probe() -> int:
+    """Runs inside a worker; trivially cheap, proves the pool round-trips."""
+    return _PROBE_TOKEN
+
+
+class PoolSupervisor:
+    """Keeps one ``ProcessPoolExecutor`` alive across batches.
+
+    The engine used to build (and tear down) a fresh pool per batch
+    call; the supervisor makes the pool a *resident* resource with a
+    recovery story:
+
+    * :meth:`ensure` hands back a live pool, building it on first use
+      and growing it (a free rebuild, not a failure) when a batch needs
+      more workers than the current pool holds;
+    * :meth:`restart` tears the pool down (killing stragglers, so a
+      hung worker cannot block the join), rebuilds it, and verifies the
+      fresh pool with a health probe — gated by the restart
+      :class:`TokenBucket` so a crash loop cannot fork-bomb the host;
+    * :meth:`mark_broken` lets the engine flag breakage it observed
+      (``BrokenProcessPool``, a timed-out chunk) so the next
+      :meth:`ensure` knows a restart is due.
+
+    Not thread-safe: one supervisor serves one engine, whose batches
+    are already serialized (the front door dispatches through a single
+    executor thread).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], object],
+        limiter: Optional[TokenBucket] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        probe_timeout: float = 30.0,
+        pool_name: str = "engine",
+    ):
+        self._factory = factory
+        self.limiter = limiter if limiter is not None else TokenBucket()
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.probe_timeout = probe_timeout
+        self.pool_name = pool_name
+        self._pool = None
+        self._size = 0
+        self._state = POOL_STOPPED
+        self.restarts = 0
+        self.denied_restarts = 0
+        self._publish()
+
+    # -- state ----------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        self._publish()
+
+    def _publish(self) -> None:
+        self.metrics.gauge("repro_pool_state", pool=self.pool_name).set(
+            _POOL_STATE_VALUES[self._state]
+        )
+        self.metrics.gauge("repro_pool_workers", pool=self.pool_name).set(
+            float(self._size)
+        )
+
+    # -- lifecycle -------------------------------------------------------
+    def _build(self, workers: int) -> bool:
+        try:
+            self._pool = self._factory(workers)
+        except Exception:
+            self._pool = None
+            self._size = 0
+            self._set_state(POOL_BROKEN)
+            return False
+        self._size = workers
+        self._set_state(POOL_RUNNING)
+        return True
+
+    def _teardown(self, kill: bool) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if kill:
+            # A hung or crash-looping worker must not block the join;
+            # SIGKILL the processes before reaping the executor.
+            for proc in (getattr(pool, "_processes", None) or {}).values():
+                proc.kill()
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive reap
+            pass
+
+    def ensure(self, workers: int):
+        """A live pool with at least ``workers`` slots, or ``None``.
+
+        ``None`` means the pool is down and the restart limiter denied
+        recovery — the caller must degrade to serial execution.
+        """
+        if self._state == POOL_RUNNING and self._pool is not None:
+            if workers <= self._size:
+                return self._pool
+            # Growing is a planned rebuild, not a crash recovery: no
+            # token charged, stragglers are drained gracefully.
+            self._teardown(kill=False)
+            self.metrics.counter(
+                "repro_pool_restarts_total", pool=self.pool_name, reason="resize"
+            ).inc()
+            return self._pool if self._build(workers) else None
+        if self._state == POOL_STOPPED:
+            return self._pool if self._build(workers) else None
+        # Broken: recovery is a real restart, charged to the bucket.
+        return self._pool if self.restart("broken", workers=workers) else None
+
+    def mark_broken(self, reason: str = "") -> None:
+        """Record breakage the engine observed; next ensure() restarts."""
+        if self._state != POOL_BROKEN:
+            self.metrics.counter(
+                "repro_pool_breakages_total",
+                pool=self.pool_name,
+                reason=reason or "unknown",
+            ).inc()
+            self._set_state(POOL_BROKEN)
+
+    def restart(self, reason: str, workers: Optional[int] = None, probe: bool = True) -> bool:
+        """Kill, rebuild, and (optionally) health-probe the pool.
+
+        Returns ``False`` — leaving the pool broken — when the token
+        bucket denies the restart or the fresh pool fails its probe.
+        """
+        if not self.limiter.try_acquire():
+            self.denied_restarts += 1
+            self.metrics.counter(
+                "repro_pool_restart_denied_total", pool=self.pool_name
+            ).inc()
+            self._teardown(kill=True)
+            self._set_state(POOL_BROKEN)
+            return False
+        self._teardown(kill=True)
+        self.restarts += 1
+        self.metrics.counter(
+            "repro_pool_restarts_total", pool=self.pool_name, reason=reason
+        ).inc()
+        if not self._build(workers or self._size or 1):
+            return False
+        if probe and not self.health_check():
+            return False
+        return True
+
+    def health_check(self, timeout: Optional[float] = None) -> bool:
+        """Round-trip a probe task through the pool; mark broken on failure."""
+        if self._pool is None or self._state != POOL_RUNNING:
+            return False
+        try:
+            token = self._pool.submit(_pool_health_probe).result(
+                timeout=timeout if timeout is not None else self.probe_timeout
+            )
+            healthy = token == _PROBE_TOKEN
+        except Exception:
+            healthy = False
+        self.metrics.counter(
+            "repro_pool_health_probes_total",
+            pool=self.pool_name,
+            outcome="ok" if healthy else "failed",
+        ).inc()
+        if not healthy:
+            self.mark_broken("probe")
+        return healthy
+
+    def shutdown(self) -> None:
+        """Graceful stop (idempotent); ensure() after this rebuilds."""
+        self._teardown(kill=False)
+        self._size = 0
+        self._set_state(POOL_STOPPED)
+
+    def describe(self) -> dict:
+        return {
+            "state": self._state,
+            "workers": self._size,
+            "restarts": self.restarts,
+            "denied_restarts": self.denied_restarts,
+            "tokens": round(self.limiter.tokens, 3),
+        }

@@ -1,0 +1,1 @@
+"""Seeded chaos tests: sabotage mid-stream, assert exactly-once resolution."""

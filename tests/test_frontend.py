@@ -390,3 +390,144 @@ class TestWorkersHint:
 
         run(body())
         assert seen == {"workers": 2, "min_chunk": 4}
+
+
+class TestDeadlines:
+    """End-to-end deadlines: expired requests resolve typed, never late."""
+
+    def test_expired_while_queued_resolves_typed_and_early(self):
+        from repro.serve.faults import KIND_DEADLINE
+
+        async def body():
+            stub = StubEngine()
+            # The flush deadline is far away: only the sweep can save us.
+            async with Frontend(stub, max_batch=64, max_wait_ms=10_000.0) as fe:
+                t0 = time.perf_counter()
+                outcome = await fe.submit_outcome("sm", 7, deadline=0.02)
+                elapsed = time.perf_counter() - t0
+            assert isinstance(outcome, Failed)
+            assert outcome.kind == KIND_DEADLINE
+            # Resolved at expiry, not at the 10 s flush deadline.
+            assert elapsed < 5.0
+            # The request never dispatched.
+            assert stub.batches == []
+            assert fe.stats.deadline_expired == 1
+            assert fe.stats.submitted == 1
+
+        run(body())
+
+    def test_submit_raises_deadline_exceeded(self):
+        from repro.serve.faults import DeadlineExceeded
+
+        async def body():
+            async with Frontend(StubEngine(), max_batch=64,
+                                max_wait_ms=10_000.0) as fe:
+                with pytest.raises(DeadlineExceeded):
+                    await fe.submit("sm", 7, deadline=0.02)
+
+        run(body())
+
+    def test_budget_forwarded_only_when_every_member_is_bounded(self):
+        from repro.serve.resilience import Deadline
+
+        calls = []
+
+        class SpyEngine(StubEngine):
+            def run_jobs(self, jobs, workers=0, dedup=True, strict=False,
+                         min_chunk=None, deadline=None):
+                calls.append(deadline)
+                return super().run_jobs(jobs, workers=workers, dedup=dedup,
+                                        strict=strict, min_chunk=min_chunk)
+
+        async def body():
+            async with Frontend(SpyEngine(), max_batch=2,
+                                max_wait_ms=1.0) as fe:
+                # Both bounded: the engine receives the largest budget.
+                await asyncio.gather(
+                    fe.submit("sm", 1, deadline=30.0),
+                    fe.submit("sm", 2, deadline=60.0),
+                )
+                # Mixed: one caller is unbounded, so the batch is too.
+                await asyncio.gather(
+                    fe.submit("sm", 3, deadline=30.0),
+                    fe.submit("sm", 4),
+                )
+
+        run(body())
+        assert len(calls) == 2
+        bounded, mixed = calls
+        assert isinstance(bounded, Deadline)
+        assert 50.0 < bounded.remaining() <= 60.0
+        assert mixed is None
+
+    def test_default_deadline_from_config(self):
+        from repro.serve.faults import KIND_DEADLINE
+
+        async def body():
+            async with Frontend(StubEngine(), max_batch=64,
+                                max_wait_ms=10_000.0,
+                                default_deadline_ms=20.0) as fe:
+                outcome = await fe.submit_outcome("sm", 1)
+            assert isinstance(outcome, Failed)
+            assert outcome.kind == KIND_DEADLINE
+
+        run(body())
+
+    def test_blocked_submitter_honours_its_deadline(self):
+        from repro.serve.faults import KIND_DEADLINE
+
+        async def body():
+            stub = StubEngine(delay=0.2)
+            fe = Frontend(stub, max_batch=1, max_wait_ms=0.0, max_queue=1,
+                          policy="block")
+            fillers = [
+                asyncio.ensure_future(fe.submit_outcome("sm", i))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0.01)
+            t0 = time.perf_counter()
+            blocked = await fe.submit_outcome("sm", 99, deadline=0.05)
+            elapsed = time.perf_counter() - t0
+            assert isinstance(blocked, Failed)
+            assert blocked.kind == KIND_DEADLINE
+            assert elapsed < 5.0
+            await asyncio.gather(*fillers)
+            await fe.aclose()
+            # The blocked request never entered the queue.
+            assert all(99 not in payloads for _, payloads in stub.batches)
+
+        run(body())
+
+    def test_admission_timeout_bounds_block_and_raises(self):
+        from repro.serve.faults import Overloaded
+
+        async def body():
+            stub = StubEngine(delay=0.2)
+            fe = Frontend(stub, max_batch=1, max_wait_ms=0.0, max_queue=1,
+                          policy="block", admission_timeout_ms=50.0)
+            fillers = [
+                asyncio.ensure_future(fe.submit_outcome("sm", i))
+                for i in range(2)
+            ]
+            await asyncio.sleep(0.01)
+            with pytest.raises(Overloaded):
+                await fe.submit_outcome("sm", 99)
+            await asyncio.gather(*fillers, return_exceptions=True)
+            await fe.aclose()
+            assert fe.stats.rejected >= 1
+
+        run(body())
+
+    def test_new_knobs_validated(self):
+        with pytest.raises(ValueError):
+            FrontendConfig(default_deadline_ms=0)
+        with pytest.raises(ValueError):
+            FrontendConfig(admission_timeout_ms=-5)
+
+    def test_per_call_deadline_validated(self):
+        async def body():
+            async with Frontend(StubEngine()) as fe:
+                with pytest.raises(ValueError):
+                    await fe.submit("sm", 1, deadline=-1.0)
+
+        run(body())
