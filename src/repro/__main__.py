@@ -14,8 +14,8 @@ Commands:
 * ``serve`` — drive the asyncio continuous-batching front door with an
   in-process Poisson arrival stream and print the serving report
   (``serve [N] [--rate R] [--max-batch B] [--max-wait-ms W]
-  [--policy P] [--queue Q] [--workers W] [--poison R] [--smoke]
-  [--metrics-out PATH]``);
+  [--policy P] [--queue Q] [--workers W] [--poison R] [--verify R]
+  [--smoke] [--metrics-out PATH]``);
 * ``metrics`` — validate/inspect a metrics export, or run a small
   instrumented workload and print the observability report
   (``metrics [PATH] [--check]``).
@@ -226,6 +226,12 @@ def cmd_serve(argv=()) -> int:
     time-to-flush and end-to-end latency quantiles, and admission
     outcomes.  ``--poison R`` turns a ratio R of the stream into
     invalid DH requests to show streamed per-item isolation.
+    ``--verify R`` turns a ratio R of the stream into Schnorr
+    ``verify_msm`` requests — the coalescer groups them per flush and
+    the engine resolves each group with one randomized multi-scalar
+    multiplication; combined with ``--poison``, a slice of those
+    signatures is tampered and must come back ``Ok(False)`` while the
+    honest ones stay ``Ok(True)``.
 
     ``--deadline-ms`` bounds every request end-to-end (expired requests
     resolve with a typed ``deadline`` failure instead of executing
@@ -265,7 +271,13 @@ def cmd_serve(argv=()) -> int:
                         help="engine fan-out per flush (0 = serial)")
     parser.add_argument("--poison", type=float, default=0.0, metavar="R",
                         help="ratio in [0, 1) of requests replaced by "
-                             "invalid DH material (streamed isolation demo)")
+                             "invalid DH material (streamed isolation demo); "
+                             "with --verify, also the ratio of tampered "
+                             "signatures")
+    parser.add_argument("--verify", type=float, default=0.0, metavar="R",
+                        help="ratio in [0, 1] of requests submitted as "
+                             "Schnorr verify_msm jobs (grouped per flush "
+                             "into one randomized MSM)")
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="end-to-end request deadline in ms "
                              "(default: unbounded)")
@@ -289,6 +301,9 @@ def cmd_serve(argv=()) -> int:
     if not 0.0 <= args.poison < 1.0:
         print("--poison must be in [0, 1)", file=sys.stderr)
         return 2
+    if not 0.0 <= args.verify <= 1.0:
+        print("--verify must be in [0, 1]", file=sys.stderr)
+        return 2
     if args.retries is not None and args.retries < 1:
         print("--retries must be >= 1", file=sys.stderr)
         return 2
@@ -308,15 +323,32 @@ def cmd_serve(argv=()) -> int:
         RetryPolicy,
     )
 
+    from .dsa import fourq_schnorr
+
     rng = random.Random(args.seed)
     generator = AffinePoint.generator()
     me = fourq_dh.generate_keypair(rng)
+    signer_kps = (
+        [fourq_schnorr.generate_keypair(rng) for _ in range(4)]
+        if args.verify
+        else []
+    )
     requests = []  # (kind, payload, poisoned?)
     for i in range(args.n):
         if args.chaos and i % 4 == 2:
             # Every 4th request is sabotage: a worker kill or a hang.
             mode = ("exit",) if (i // 4) % 2 == 0 else ("sleep", 3.0)
             requests.append(("fault", mode, False))
+        elif args.verify and rng.random() < args.verify:
+            kp = signer_kps[i % len(signer_kps)]
+            msg = b"serve-msg-%d" % i
+            sig = fourq_schnorr.sign(kp, msg)
+            if args.poison and rng.random() < args.poison:
+                # Tampered message: the signature no longer matches, so
+                # this item must come back Ok(False) — a verdict, not a
+                # Failed envelope (the fallback path's contract).
+                msg += b"-tampered"
+            requests.append(("verify_msm", (kp.public, msg, sig), False))
         elif args.poison and rng.random() < args.poison:
             bad = (encode_point(AffinePoint.identity())
                    if i % 2 == 0 else b"\xff" * 32)
@@ -346,6 +378,7 @@ def cmd_serve(argv=()) -> int:
           f"max_batch={args.max_batch}, max_wait={args.max_wait_ms:g} ms, "
           f"policy={args.policy}"
           + (f", poison={args.poison:g}" if args.poison else "")
+          + (f", verify={args.verify:g}" if args.verify else "")
           + (f", deadline={args.deadline_ms:g} ms" if args.deadline_ms else "")
           + (", CHAOS" if args.chaos else "") + "...")
 
@@ -396,11 +429,22 @@ def cmd_serve(argv=()) -> int:
         print(f"FAIL: {len(requests)} requests but {len(outcomes)} outcomes",
               file=sys.stderr)
         return 1
-    checked = mismatches = deadline_hits = 0
+    checked = mismatches = deadline_hits = verified = 0
     for (kind, payload, poisoned), outcome in zip(requests, outcomes):
         failed = isinstance(outcome, Failed)
         if failed and outcome.kind == "deadline" and args.deadline_ms:
             deadline_hits += 1
+            continue
+        if kind == "verify_msm":
+            # The batch-MSM verdict must match the per-item reference
+            # verifier — True for honest items, False for tampered ones.
+            public, message, sig = payload
+            if failed or outcome.value != fourq_schnorr.verify(
+                public, message, sig
+            ):
+                mismatches += 1
+            else:
+                verified += 1
             continue
         if kind == "fault":
             # Chaos sabotage: recovered Ok marker or a typed failure —
@@ -425,6 +469,8 @@ def cmd_serve(argv=()) -> int:
         return 1
     print(f"PASS: outcomes verified ({checked} re-checked against the "
           f"math layer"
+          + (f"; {verified} batch-MSM verdicts matched the reference "
+             "verifier" if verified else "")
           + (f"; {deadline_hits} hit their deadline" if deadline_hits else "")
           + ")")
 

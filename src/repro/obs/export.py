@@ -341,6 +341,36 @@ def render_report(doc: dict) -> str:
             )
         lines.append("")
 
+    msm_batches = [
+        e for e in doc["counters"] if e["name"] == "repro_msm_batches_total"
+    ]
+    msm_items = [
+        e for e in doc["counters"] if e["name"] == "repro_msm_items_total"
+    ]
+    if msm_batches or msm_items:
+        lines.append("batch verification (randomized MSM)")
+        for entry in msm_batches:
+            outcome = entry["labels"].get("outcome", "?")
+            lines.append(f"  batches[{outcome}]: {int(entry['value'])}")
+        for entry in msm_items:
+            verdict = entry["labels"].get("verdict", "?")
+            lines.append(f"  items[{verdict}] : {int(entry['value'])}")
+        fallbacks = counter_value(doc, "repro_msm_fallback_verifies_total")
+        if fallbacks:
+            lines.append(f"  fallback per-item verifies: {int(fallbacks)}")
+        for entry in _find(doc, "histograms", "repro_msm_batch_size"):
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            lines.append(
+                f"  batch size : mean {mean:.1f}  p50 {entry['p50']:.0f}"
+                f"  p99 {entry['p99']:.0f}"
+            )
+        for entry in _find(doc, "gauges", "repro_msm_simulated_cycles_per_op"):
+            lines.append(
+                f"  simulated cycles/op : {entry['value']:.0f}"
+                "  (window-kernel extrapolation)"
+            )
+        lines.append("")
+
     _POOL_STATES = {0: "stopped", 1: "running", 2: "broken"}
     _BREAKER_STATES = {0: "closed", 1: "half_open", 2: "open"}
     pool_gauges = list(_find(doc, "gauges", "repro_pool_state"))

@@ -8,7 +8,9 @@ requests the way the paper's chip amortizes its silicon:
   register allocation per workload *shape*, LRU-bounded, with hit/miss
   counters;
 * :class:`~repro.serve.engine.BatchEngine` — ``batch_scalarmult`` /
-  ``batch_dh`` / ``batch_verify`` streaming scalars through a reused
+  ``batch_dh`` / ``batch_verify`` (per-item simulation or amortized
+  ``mode="msm"`` randomized batch verification) / ``batch_msm``
+  streaming scalars through a reused
   :class:`~repro.rtl.datapath.DatapathSimulator`, optionally fanned out
   across worker processes with chunk-level crash containment;
 * :class:`~repro.serve.faults.Ok` / :class:`~repro.serve.faults.Failed`
@@ -40,6 +42,7 @@ from .engine import (
     BatchEngine,
     BatchResult,
     batch_dh,
+    batch_msm,
     batch_scalarmult,
     batch_verify,
     default_engine,
@@ -85,6 +88,7 @@ __all__ = [
     "RetryPolicy",
     "TokenBucket",
     "batch_dh",
+    "batch_msm",
     "batch_scalarmult",
     "batch_verify",
     "classify_exception",

@@ -60,6 +60,13 @@ from ..curve.decompose import FourQDecomposer
 from ..curve.encoding import encode_point, decode_point
 from ..curve.endomaps import CompiledEndo, compile_endomorphisms
 from ..curve.endomorphisms import default_decomposer
+from ..curve.multiscalar import (
+    batch_verify_schnorr,
+    multi_scalar_mul,
+    pippenger_cost_model,
+    pippenger_window_bits,
+    validate_verify_item,
+)
 from ..curve.params import SUBGROUP_ORDER_N
 from ..curve.point import AffinePoint
 from ..dsa.fourq_dh import SmallOrderPoint
@@ -69,7 +76,11 @@ from ..hashes.sha256 import sha256
 from ..obs import MetricsRegistry, get_registry
 from ..rtl.datapath import DatapathSimulator
 from ..sched.jobshop import MachineSpec
-from ..trace.program import trace_double_scalar_mult, trace_scalar_mult
+from ..trace.program import (
+    trace_double_scalar_mult,
+    trace_msm_window,
+    trace_scalar_mult,
+)
 from .cache import FlowArtifactCache
 from .faults import (
     KIND_CIRCUIT_OPEN,
@@ -96,6 +107,17 @@ _CIRCUIT_MODES = ("serial", "fail_fast")
 #: Sentinel for "no result landed in this slot yet" (None/False are
 #: legitimate job results, so identity — not truthiness — marks holes).
 _UNSET = object()
+
+#: batch_verify evaluation modes: ``simulate`` runs each item's
+#: double-base workload on the simulated datapath; ``msm`` resolves the
+#: whole batch with one randomized multi-scalar multiplication and
+#: falls back to bisection + per-item simulation on rejection.
+_VERIFY_MODES = ("simulate", "msm")
+
+#: Fixed shape of the traced Pippenger window kernel (the micro-op DAG
+#: must be identical across calls so the flow-artifact cache holds).
+_MSM_KERNEL_POINTS = 8
+_MSM_KERNEL_WINDOW = 4
 
 
 @dataclass
@@ -241,6 +263,10 @@ class BatchEngine:
         )
         self._decomposer: Optional[FourQDecomposer] = None
         self._compiled: Optional[Tuple[CompiledEndo, CompiledEndo]] = None
+        # (cycles, arithmetic µops) of the traced MSM window kernel —
+        # memoized so batch verification prices its cycle model without
+        # re-tracing per batch.
+        self._msm_kernel_stats: Optional[Tuple[int, int]] = None
         # Last seen shape key per workload kind: hands run_flow a
         # precomputed key so same-shape requests skip re-hashing the
         # trace.  A stale key (shape drift) is harmless — run_flow
@@ -343,6 +369,60 @@ class BatchEngine:
             self._shape_keys["double_scalarmult"] = flow.cache_key
         return flow
 
+    def msm_kernel_flow(self) -> FlowResult:
+        """Trace + simulate one Pippenger bucket window (cache-aware).
+
+        The serving MSM itself runs on the raw field arithmetic — its
+        bucket-hit pattern is data-dependent, so per-request traces
+        would never share a shape.  Instead this fixed-shape window
+        kernel (:func:`repro.trace.program.trace_msm_window`) goes
+        through the full trace → job-shop → microcode → simulate flow
+        once, and :meth:`msm_cycles_estimate` extrapolates whole-MSM
+        cycle counts from its measured cycles-per-µop density.
+        """
+        t0 = time.perf_counter()
+        prog = trace_msm_window(
+            n_points=_MSM_KERNEL_POINTS, window=_MSM_KERNEL_WINDOW
+        )
+        self.metrics.histogram(FLOW_STAGE_SECONDS, stage="trace").observe(
+            time.perf_counter() - t0
+        )
+        flow = run_flow(
+            prog,
+            machine=self.machine,
+            scheduler=self.scheduler,
+            check_golden=self.check_golden,
+            cache=self.cache,
+            simulator=self.simulator,
+            cache_key=self._shape_keys.get("msm_window"),
+            metrics=self.metrics,
+        )
+        if flow.cache_key is not None:
+            self._shape_keys["msm_window"] = flow.cache_key
+        self._msm_kernel_stats = (flow.cycles, prog.arithmetic_size)
+        return flow
+
+    def msm_cycles_estimate(
+        self, n_points: int, window: Optional[int] = None
+    ) -> int:
+        """Simulated-cycle estimate for an ``n_points`` bucket MSM.
+
+        Extrapolation model: the traced window kernel's simulated
+        cycles-per-µop density (how tightly the scheduler packs the
+        double/bucket/aggregate mix onto the datapath) times the full
+        algorithm's µop count from
+        :func:`repro.curve.multiscalar.pippenger_cost_model`.  A model,
+        not a measurement — the honest label for a workload whose trace
+        shape is data-dependent.
+        """
+        if n_points <= 0:
+            return 0
+        if self._msm_kernel_stats is None:
+            self.msm_kernel_flow()
+        kernel_cycles, kernel_ops = self._msm_kernel_stats
+        mults, addsubs = pippenger_cost_model(n_points, window)
+        return int(round(kernel_cycles * (mults + addsubs) / kernel_ops))
+
     @staticmethod
     def _point_from_outputs(flow: FlowResult) -> AffinePoint:
         out = flow.simulation.outputs
@@ -420,6 +500,35 @@ class BatchEngine:
             deadline=deadline,
         )
 
+    def batch_msm(
+        self,
+        requests: Sequence[Tuple[Sequence[int], Sequence[AffinePoint]]],
+        workers: int = 0,
+        dedup: bool = False,
+        strict: bool = False,
+        min_chunk: Optional[int] = None,
+        deadline: Optional[Any] = None,
+    ) -> BatchResult:
+        """Evaluate many multi-scalar multiplications sum_i [k_i] P_i.
+
+        Each request is a ``(scalars, points)`` pair; the engine picks
+        Straus-Shamir or the Pippenger bucket method per request by
+        batch size (:func:`repro.curve.multiscalar.multi_scalar_mul`
+        with ``method="auto"``).  A malformed request (length mismatch,
+        off-curve point surfacing as a field error) costs one typed
+        :class:`~repro.serve.faults.Failed` slot, never the batch.
+        Each slot's contribution to ``stats.simulated_cycles`` is the
+        window-kernel extrapolation of :meth:`msm_cycles_estimate`.
+        """
+        jobs = [
+            ("msm", (tuple(scalars), tuple(points)))
+            for scalars, points in requests
+        ]
+        return self._run_batch(
+            jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk,
+            deadline=deadline,
+        )
+
     def batch_verify(
         self,
         items: Sequence[Tuple[AffinePoint, bytes, SchnorrSignature]],
@@ -428,18 +537,34 @@ class BatchEngine:
         strict: bool = False,
         min_chunk: Optional[int] = None,
         deadline: Optional[Any] = None,
+        mode: str = "simulate",
     ) -> BatchResult:
         """Verify many Schnorr (public, message, signature) triples.
 
-        Each verification runs the double-base workload [s]G + [N-e]Q on
-        the simulated datapath and compares against the commitment —
-        the same decision :func:`repro.dsa.fourq_schnorr.verify` makes.
-        An invalid-but-well-formed signature verifies ``False``; an item
+        ``mode="simulate"`` (the default) runs each item's double-base
+        workload [s]G + [N-e]Q on the simulated datapath and compares
+        against the commitment — the same decision
+        :func:`repro.dsa.fourq_schnorr.verify` makes.  An
+        invalid-but-well-formed signature verifies ``False``; an item
         whose material cannot even be processed (wrong types, off-range
         coordinates raising deep in the stack) becomes a typed
         :class:`~repro.serve.faults.Failed` envelope.
+
+        ``mode="msm"`` resolves the whole batch with one randomized
+        multi-scalar multiplication
+        (:func:`repro.curve.multiscalar.batch_verify_schnorr`): items
+        are individually vetted (on-curve, order-N subgroup, s in
+        range — rejects resolve ``Ok(False)`` immediately), the
+        survivors are batch-checked at roughly the cost of one large
+        MSM, and a rejected batch bisects so each forged item ends at
+        an authoritative per-item simulated verification while every
+        honest item still resolves ``Ok(True)``.  Same per-item
+        outcomes as ``"simulate"``, amortized cost.
         """
-        jobs = [("verify", item) for item in items]
+        if mode not in _VERIFY_MODES:
+            raise ValueError(f"mode must be one of {_VERIFY_MODES}")
+        kind = "verify_msm" if mode == "msm" else "verify"
+        jobs = [(kind, item) for item in items]
         return self._run_batch(
             jobs, workers=workers, dedup=dedup, strict=strict, min_chunk=min_chunk,
             deadline=deadline,
@@ -530,6 +655,15 @@ class BatchEngine:
                 sig.s, u2, AffinePoint.generator(), public
             )
             return self._point_from_outputs(flow) == commit, flow.cycles, flow.fallback
+        if kind == "msm":
+            scalars, points = payload
+            result = multi_scalar_mul(scalars, points)
+            live = sum(
+                1
+                for k, p in zip(scalars, points)
+                if not p.is_identity() and k % SUBGROUP_ORDER_N
+            )
+            return result, self.msm_cycles_estimate(live), False
         if kind == "fault":
             # Fault-injection hook (tests, chaos benchmarks).  The
             # payload fires only inside pool workers; in the parent it
@@ -659,6 +793,12 @@ class BatchEngine:
     ) -> BatchResult:
         t0 = time.perf_counter()
         deadline = Deadline.coerce(deadline)
+        msm_slots = [i for i, (kind, _) in enumerate(jobs) if kind == "verify_msm"]
+        if msm_slots:
+            return self._run_batch_with_msm(
+                jobs, msm_slots, workers=workers, dedup=dedup, strict=strict,
+                min_chunk=min_chunk, deadline=deadline, t0=t0,
+            )
         workers = self.plan_workers(len(jobs), workers or 0, min_chunk)
         if workers > 1 and not self.breaker.allow():
             # Breaker open: the pool keeps failing, stop paying for it.
@@ -698,6 +838,210 @@ class BatchEngine:
             # not kill the pool); strict surfaces the first failure here.
             batch.raise_any()
         return batch
+
+    def _run_batch_with_msm(
+        self,
+        jobs: Sequence[Tuple[str, Any]],
+        msm_slots: Sequence[int],
+        workers: int,
+        dedup: bool,
+        strict: bool,
+        min_chunk: Optional[int],
+        deadline: Optional[Deadline],
+        t0: float,
+    ) -> BatchResult:
+        """Split a flush: ``verify_msm`` items resolve as one group.
+
+        The whole point of MSM-mode verification is cross-item
+        amortization, so the ``verify_msm`` members of a mixed flush
+        are pulled out *before* worker planning and resolved in-parent
+        by :meth:`_verify_msm_group`; everything else takes the normal
+        serial/fan-out path.  Slots are stitched back in input order.
+        """
+        ordered: List[Any] = [_UNSET] * len(jobs)
+        group_results, stats = self._verify_msm_group(
+            [jobs[i][1] for i in msm_slots], deadline=deadline
+        )
+        for i, r in zip(msm_slots, group_results):
+            ordered[i] = r
+        rest = [(i, job) for i, job in enumerate(jobs) if job[0] != "verify_msm"]
+        if rest:
+            sub = self._run_batch(
+                [job for _, job in rest], workers=workers, dedup=dedup,
+                strict=False, min_chunk=min_chunk, deadline=deadline,
+            )
+            for (i, _), r in zip(rest, sub.results):
+                ordered[i] = r
+            stats.merge(sub.stats)
+            stats.workers = max(stats.workers, sub.stats.workers)
+        stats.ops = len(jobs)
+        stats.wall_seconds = time.perf_counter() - t0
+        results = [
+            replace(r, index=i) if isinstance(r, Failed) else r
+            for i, r in enumerate(ordered)
+        ]
+        batch = BatchResult(results=results, stats=stats)
+        if strict:
+            batch.raise_any()
+        return batch
+
+    def _verify_msm_group(
+        self,
+        items: Sequence[Tuple[AffinePoint, bytes, SchnorrSignature]],
+        deadline: Optional[Deadline] = None,
+    ) -> Tuple[List[Any], BatchStats]:
+        """Resolve verify items with one randomized MSM + fallback.
+
+        Three stages, each fault-isolated per item:
+
+        1. **Vet** every item (:func:`repro.curve.multiscalar.
+           validate_verify_item`): off-curve or out-of-subgroup points,
+           out-of-range s, malformed material → that slot resolves
+           ``False`` (the verdict per-item ``verify`` would reach for
+           such a signature, without endangering the batch soundness
+           argument).
+        2. **Batch-check** the survivors via
+           :func:`~repro.curve.multiscalar.batch_verify_schnorr` —
+           all-honest batches (the overwhelmingly common case) resolve
+           here at roughly the cost of one large MSM.
+        3. **Bisect** a rejected batch: halves re-check recursively, so
+           each bad item is cornered in O(log n) sub-batches while the
+           honest majority still resolves in bulk; size-1 rejects run
+           the authoritative per-item *simulated* verification (the
+           bit-verified datapath path — same verdict as
+           :func:`repro.dsa.fourq_schnorr.verify`), so one forgery
+           costs log-factor extra MSM work, never 63 honest slots.
+
+        ``simulated_cycles`` accounts the window-kernel extrapolation
+        (:meth:`msm_cycles_estimate`) per batch MSM performed, plus the
+        real simulated cycles of any fallback per-item verifications.
+        """
+        stats = BatchStats()
+        m = self.metrics
+        t0 = time.perf_counter()
+        n = len(items)
+        results: List[Any] = [_UNSET] * n
+        stats.ops = n
+        if n:
+            m.histogram("repro_msm_batch_size").observe(n)
+
+        def fail(idx: int, kind: str, message: str) -> None:
+            results[idx] = Failed(kind=kind, message=message)
+            stats.record_error(kind, 0.0)
+            m.counter(
+                "repro_serve_items_total", kind="verify_msm", outcome="error"
+            ).inc()
+            m.counter("repro_serve_errors_total", kind=kind).inc()
+            m.counter("repro_msm_items_total", verdict="error").inc()
+
+        def resolve(idx: int, verdict: bool) -> None:
+            results[idx] = verdict
+            m.counter(
+                "repro_serve_items_total", kind="verify_msm", outcome="ok"
+            ).inc()
+            m.counter(
+                "repro_msm_items_total",
+                verdict="valid" if verdict else "invalid",
+            ).inc()
+
+        live: List[int] = []
+        for idx, item in enumerate(items):
+            if deadline is not None and deadline.expired:
+                fail(idx, KIND_DEADLINE,
+                     "deadline expired before batch verification")
+                m.counter("repro_deadline_expired_total", stage="engine").inc()
+                continue
+            try:
+                public, message, sig = item
+                commit = validate_verify_item(public, sig)
+            except Exception as exc:
+                fail(idx, classify_exception(exc), str(exc))
+                continue
+            if commit is None:
+                resolve(idx, False)
+            else:
+                live.append(idx)
+
+        def leaf_verify(idx: int) -> None:
+            """Authoritative per-item verdict on the simulated datapath."""
+            m.counter("repro_msm_fallback_verifies_total").inc()
+            try:
+                verdict, cycles, used_fallback = self._execute(
+                    "verify", items[idx]
+                )
+            except Exception as exc:
+                fail(idx, classify_exception(exc), str(exc))
+                return
+            stats.simulated_cycles += cycles
+            stats.fallbacks += int(used_fallback)
+            resolve(idx, verdict)
+
+        whole_batch_accepted = bool(live)
+        subsets: List[List[int]] = [live] if live else []
+        while subsets:
+            subset = subsets.pop()
+            if deadline is not None and deadline.expired:
+                for idx in subset:
+                    fail(idx, KIND_DEADLINE,
+                         "deadline expired during batch verification")
+                    m.counter(
+                        "repro_deadline_expired_total", stage="engine"
+                    ).inc()
+                continue
+            accepted: Optional[bool]
+            try:
+                accepted = batch_verify_schnorr([items[i] for i in subset])
+            except Exception:
+                accepted = None  # isolate: resolve these items one by one
+            if accepted:
+                msm_points = 2 * len(subset) + 1
+                stats.simulated_cycles += self.msm_cycles_estimate(msm_points)
+                for idx in subset:
+                    resolve(idx, True)
+                continue
+            whole_batch_accepted = False
+            if accepted is None or len(subset) == 1:
+                for idx in subset:
+                    leaf_verify(idx)
+                continue
+            stats.simulated_cycles += self.msm_cycles_estimate(
+                2 * len(subset) + 1
+            )
+            mid = len(subset) // 2
+            subsets.append(subset[mid:])
+            subsets.append(subset[:mid])
+
+        if n:
+            m.counter(
+                "repro_msm_batches_total",
+                outcome="accepted" if whole_batch_accepted else "fallback",
+            ).inc()
+            live_points = 2 * len(live) + 1 if live else 0
+            if live:
+                m.gauge("repro_msm_simulated_cycles_per_op").set(
+                    self.msm_cycles_estimate(live_points) / len(live)
+                )
+        elapsed = time.perf_counter() - t0
+        resolved_ok = sum(
+            1 for r in results if not isinstance(r, Failed) and r is not _UNSET
+        )
+        if resolved_ok:
+            # Amortized per-item latency: the group resolves as one MSM,
+            # so each slot's share is the group wall time split evenly.
+            share = elapsed / resolved_ok
+            for _ in range(resolved_ok):
+                stats.latencies.append(share)
+                m.histogram(
+                    "repro_serve_latency_seconds", kind="verify_msm"
+                ).observe(share)
+        for idx, r in enumerate(results):
+            if r is _UNSET:  # pragma: no cover - defensive backstop
+                results[idx] = Failed(
+                    kind=KIND_INTERNAL,
+                    message="verify_msm slot left unresolved",
+                )
+                stats.record_error(KIND_INTERNAL, 0.0)
+        return results, stats
 
     def _fail_fast_circuit(
         self, jobs: Sequence[Tuple[str, Any]]
@@ -1072,6 +1416,18 @@ def batch_verify(
     items: Sequence[Tuple[AffinePoint, bytes, SchnorrSignature]],
     workers: int = 0,
     strict: bool = False,
+    mode: str = "simulate",
 ) -> BatchResult:
     """Batched Schnorr verification on the shared default engine."""
-    return default_engine().batch_verify(items, workers=workers, strict=strict)
+    return default_engine().batch_verify(
+        items, workers=workers, strict=strict, mode=mode
+    )
+
+
+def batch_msm(
+    requests: Sequence[Tuple[Sequence[int], Sequence[AffinePoint]]],
+    workers: int = 0,
+    strict: bool = False,
+) -> BatchResult:
+    """Batched multi-scalar multiplication on the shared default engine."""
+    return default_engine().batch_msm(requests, workers=workers, strict=strict)

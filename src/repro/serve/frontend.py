@@ -89,12 +89,14 @@ __all__ = [
 ]
 
 #: Job kinds the front door accepts — the BatchEngine job vocabulary.
-#: ``fault`` is the engine's test hook (crash/hang injection) and rides
-#: along so chaos tests can abuse the full dispatch path.
-JOB_KINDS = ("sm", "dh", "verify", "fault")
+#: ``verify_msm`` coalesces streamed verification requests into one
+#: randomized-MSM group per flush (the amortized path); ``fault`` is
+#: the engine's test hook (crash/hang injection) and rides along so
+#: chaos tests can abuse the full dispatch path.
+JOB_KINDS = ("sm", "dh", "verify", "verify_msm", "msm", "fault")
 
 #: Friendly aliases accepted by :meth:`Frontend.submit`.
-_KIND_ALIASES = {"scalarmult": "sm"}
+_KIND_ALIASES = {"scalarmult": "sm", "verify-msm": "verify_msm"}
 
 _POLICIES = ("block", "reject", "shed")
 

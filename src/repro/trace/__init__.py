@@ -12,6 +12,7 @@ from .program import (
     trace_double_scalar_mult,
     trace_loop_iteration,
     trace_loop_iterations,
+    trace_msm_window,
     trace_scalar_mult,
 )
 from .tracer import TracedValue, Tracer
@@ -27,5 +28,6 @@ __all__ = [
     "trace_double_scalar_mult",
     "trace_loop_iteration",
     "trace_loop_iterations",
+    "trace_msm_window",
     "trace_scalar_mult",
 ]

@@ -307,6 +307,136 @@ def trace_loop_iterations(
     )
 
 
+def trace_msm_window(
+    n_points: int = 8,
+    window: int = 4,
+    rng: Optional[random.Random] = None,
+) -> TraceProgram:
+    """Trace one Pippenger bucket window — the batch-MSM ASIC kernel.
+
+    The serving layer's batch verification spends its cycles in
+    :func:`repro.curve.multiscalar.msm_bucket_window`: shift the
+    accumulator (``window`` doublings), add each point into the bucket
+    its digit selects, fold the buckets with the running-sum trick.
+    This traces that kernel at a *fixed shape* — digit i is
+    deterministically ``(i mod (2^window - 1)) + 1``, so every point
+    lands in a bucket and the micro-op DAG is identical across calls,
+    which is what lets the flow-artifact cache amortize the job-shop
+    solve.  Sections: ``double``, ``bucket``, ``aggregate``.
+
+    The traced values self-check against the affine reference
+    ``[2^window]A + sum_i d_i P_i``.
+    """
+    from ..curve.multiscalar import msm_bucket_window
+    from ..curve.point import random_subgroup_point
+
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
+    if not (2 <= window <= 8):
+        raise ValueError("window must be in [2, 8]")
+    rng = rng or random.Random(0x3B)
+    acc0 = random_subgroup_point(rng)
+    pts = [random_subgroup_point(rng) for _ in range(n_points)]
+    digits = [(i % ((1 << window) - 1)) + 1 for i in range(n_points)]
+
+    tracer = Tracer()
+    acc_raw = _affine_to_r1_raw(acc0)
+    acc = PointR1(
+        tracer.input(acc_raw.x, "Ax"),
+        tracer.input(acc_raw.y, "Ay"),
+        tracer.input(acc_raw.z, "Az"),
+        tracer.input(acc_raw.ta, "Ata"),
+        tracer.input(acc_raw.tb, "Atb"),
+    )
+    point_r2s = []
+    for j, pt in enumerate(pts):
+        raw = _affine_to_r2_raw(pt)
+        point_r2s.append(
+            PointR2(
+                tracer.input(raw.yx_plus, f"P{j}_Y+X"),
+                tracer.input(raw.yx_minus, f"P{j}_Y-X"),
+                tracer.input(raw.z2, f"P{j}_2Z"),
+                tracer.input(raw.t2d, f"P{j}_2dT"),
+            )
+        )
+
+    # Same operation sequence as msm_bucket_window, with the three
+    # stages tagged as sections for the occupancy report.
+    from ..curve.scalarmult import _reseed_with_valid_t
+
+    tracer.begin_section("double")
+    for _ in range(window):
+        acc = ecc_double(acc, tracer)
+    tracer.end_section()
+
+    tracer.begin_section("bucket")
+    buckets: List[Optional[PointR1]] = [None] * ((1 << window) - 1)
+    for r2, digit in zip(point_r2s, digits):
+        held = buckets[digit - 1]
+        if held is None:
+            buckets[digit - 1] = _reseed_with_valid_t(r2, tracer)
+        else:
+            buckets[digit - 1] = ecc_add_core(held, r2, tracer)
+    tracer.end_section()
+
+    tracer.begin_section("aggregate")
+    running: Optional[PointR1] = None
+    wsum: Optional[PointR1] = None
+    for bucket in reversed(buckets):
+        if bucket is not None:
+            running = (
+                bucket
+                if running is None
+                else ecc_add_core(running, r1_to_r2(bucket, tracer), tracer)
+            )
+        if running is not None:
+            wsum = (
+                running
+                if wsum is None
+                else ecc_add_core(wsum, r1_to_r2(running, tracer), tracer)
+            )
+    assert wsum is not None  # every digit is nonzero by construction
+    acc = ecc_add_core(acc, r1_to_r2(wsum, tracer), tracer)
+    tracer.end_section()
+
+    for val, name in (
+        (acc.x, "Ax'"),
+        (acc.y, "Ay'"),
+        (acc.z, "Az'"),
+        (acc.ta, "Ata'"),
+        (acc.tb, "Atb'"),
+    ):
+        tracer.mark_output(val, name)
+
+    expected = (1 << window) * acc0
+    for digit, pt in zip(digits, pts):
+        expected = expected + digit * pt
+    from ..field.fp2 import fp2_inv as _inv, fp2_mul as _mul
+
+    zx = _inv(acc.z.value)
+    got = (_mul(acc.x.value, zx), _mul(acc.y.value, zx))
+    if got != (expected.x, expected.y):
+        raise AssertionError("traced MSM window diverged from the reference")
+    # Cross-check the inlined kernel against the serving-path helper.
+    raw = msm_bucket_window(
+        _affine_to_r1_raw(acc0),
+        [_affine_to_r2_raw(p) for p in pts],
+        digits,
+        window,
+    )
+    zr = _inv(raw.z)
+    if (_mul(raw.x, zr), _mul(raw.y, zr)) != (expected.x, expected.y):
+        raise AssertionError("msm_bucket_window diverged from the trace")
+    return TraceProgram(
+        tracer=tracer,
+        description=(
+            f"Pippenger bucket window ({n_points} points, {window}-bit digits)"
+        ),
+        point=acc0,
+        expected=expected,
+    )
+
+
 def _affine_to_r1_raw(p: AffinePoint) -> PointR1:
     from ..curve.edwards import point_r1_from_affine
 

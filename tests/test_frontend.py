@@ -272,7 +272,7 @@ class TestResolveExactlyOnce:
         async def body():
             fe = Frontend(StubEngine())
             with pytest.raises(ValueError, match="unknown job kind"):
-                await fe.submit("msm", 1)
+                await fe.submit("keygen", 1)
             await fe.aclose()
             assert fe.stats.submitted == 0
 

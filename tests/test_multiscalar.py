@@ -1,14 +1,54 @@
-"""Tests for multi-scalar multiplication and batch Schnorr verification."""
+"""Tests for multi-scalar multiplication and batch Schnorr verification.
 
+Covers the Straus-Shamir baseline, the Pippenger bucket method and the
+``method="auto"`` crossover dispatch, the soundness preconditions of
+randomized batch verification (order-N subgroup membership, on-curve
+validation, ``secrets.SystemRandom`` weights), and the differential
+batch ≡ per-item property under ``PYTEST_SEED``.
+"""
+
+import inspect
+import os
 import random
+import zlib
 from dataclasses import replace
 
 import pytest
 
 from repro.curve import AffinePoint, SUBGROUP_ORDER_N
-from repro.curve.multiscalar import batch_verify_schnorr, multi_scalar_mul
-from repro.curve.point import random_subgroup_point
+from repro.curve.multiscalar import (
+    PIPPENGER_CROSSOVER,
+    batch_verify_schnorr,
+    in_order_n_subgroup,
+    multi_scalar_mul,
+    multi_scalar_mul_pippenger,
+    multi_scalar_mul_straus,
+    pippenger_cost_model,
+    pippenger_window_bits,
+    validate_verify_item,
+)
+from repro.curve.params import PRIME_P
+from repro.curve.point import random_point, random_subgroup_point
 from repro.dsa import fourq_schnorr
+
+SEED = int(os.environ.get("PYTEST_SEED", "0x4D534D"), 0)
+
+
+def _rng(tag: str) -> random.Random:
+    """Per-test RNG: PYTEST_SEED diversifies, the tag decorrelates."""
+    return random.Random((SEED << 32) ^ zlib.crc32(tag.encode()))
+
+
+def _signed(rng, n, signers=4):
+    kps = [fourq_schnorr.generate_keypair(rng=rng) for _ in range(signers)]
+    return [
+        (
+            kps[i % signers].public,
+            b"batch item %d" % i,
+            fourq_schnorr.sign(kps[i % signers], b"batch item %d" % i),
+        )
+        for i in range(n)
+    ]
 
 
 class TestMultiScalar:
@@ -108,3 +148,146 @@ class TestBatchVerify:
         pub, msg, sig = bad[0]
         bad[0] = (pub, msg, replace(sig, commit_x=(1, 1)))
         assert not batch_verify_schnorr(bad, rng=rng)
+
+
+class TestMethodEquivalence:
+    """Straus, Pippenger, and auto agree on every input shape."""
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 7, 8, 9, 16])
+    def test_methods_agree_across_crossover(self, n):
+        rng = _rng(f"methods-{n}")
+        pts = [random_subgroup_point(rng) for _ in range(n)]
+        ks = [rng.randrange(2**256) for _ in range(n)]
+        straus = multi_scalar_mul_straus(ks, pts)
+        pip = multi_scalar_mul_pippenger(ks, pts)
+        auto = multi_scalar_mul(ks, pts)
+        assert straus == pip == auto
+
+    def test_methods_agree_on_degenerate_pairs(self):
+        rng = _rng("degenerate")
+        p = random_subgroup_point(rng)
+        q = random_subgroup_point(rng)
+        cases = [
+            ([0] * 9, [random_subgroup_point(rng) for _ in range(9)]),
+            ([7, 0, SUBGROUP_ORDER_N, 5],
+             [p, q, random_subgroup_point(rng), AffinePoint.identity()]),
+            ([3, SUBGROUP_ORDER_N - 3] + [0] * 8, [p, p] + [q] * 8),
+        ]
+        for ks, pts in cases:
+            assert (
+                multi_scalar_mul_straus(ks, pts)
+                == multi_scalar_mul_pippenger(ks, pts)
+                == multi_scalar_mul(ks, pts)
+            )
+
+    def test_explicit_method_dispatch(self):
+        rng = _rng("dispatch")
+        pts = [random_subgroup_point(rng) for _ in range(3)]
+        ks = [rng.randrange(SUBGROUP_ORDER_N) for _ in range(3)]
+        assert multi_scalar_mul(ks, pts, method="straus") == multi_scalar_mul(
+            ks, pts, method="pippenger"
+        )
+        with pytest.raises(ValueError):
+            multi_scalar_mul(ks, pts, method="bogus")
+
+    def test_auto_counts_live_pairs_not_list_length(self):
+        """Identity/zero padding must not push auto over the crossover."""
+        rng = _rng("live-pairs")
+        p = random_subgroup_point(rng)
+        ks = [5] + [0] * (PIPPENGER_CROSSOVER + 4)
+        pts = [p] + [random_subgroup_point(rng)
+                     for _ in range(PIPPENGER_CROSSOVER + 4)]
+        assert multi_scalar_mul(ks, pts) == 5 * p
+
+    def test_cost_model_and_window_sane(self):
+        assert pippenger_window_bits(2) >= 2
+        assert pippenger_window_bits(10**9) <= 8
+        m_small, a_small = pippenger_cost_model(8)
+        m_large, a_large = pippenger_cost_model(256)
+        assert 0 < m_small < m_large
+        assert 0 < a_small < a_large
+
+
+class TestSubgroupValidation:
+    """The soundness precondition: every point in the order-N subgroup."""
+
+    def test_generator_and_identity_are_members(self):
+        assert in_order_n_subgroup(AffinePoint.generator())
+        assert in_order_n_subgroup(AffinePoint.identity())
+
+    def test_random_cofactor_point_is_not_member(self):
+        # A uniformly random curve point carries a 392-torsion component
+        # with probability 1 - 1/392; the fixed seed pins a witness.
+        assert not in_order_n_subgroup(random_point(random.Random(0xC0F)))
+
+    def test_low_order_point_is_not_member(self):
+        # (0, -1) has order 2: the classic small-subgroup confinement
+        # point that a cofactor-blind batch verifier would accept.
+        low = AffinePoint((0, 0), (PRIME_P - 1, 0))
+        assert not in_order_n_subgroup(low)
+
+    def test_validate_rejects_off_subgroup_public(self):
+        rng = _rng("off-subgroup")
+        (public, msg, sig), = _signed(rng, 1)
+        assert validate_verify_item(public, sig) is not None
+        assert validate_verify_item(random_point(rng), sig) is None
+
+    def test_validate_rejects_malformed(self):
+        rng = _rng("malformed")
+        (public, msg, sig), = _signed(rng, 1)
+        assert validate_verify_item(None, sig) is None
+        assert validate_verify_item(public, None) is None
+        assert validate_verify_item(public, replace(sig, s=0)) is None
+        assert validate_verify_item(
+            public, replace(sig, s=SUBGROUP_ORDER_N)
+        ) is None
+        assert validate_verify_item(public, replace(sig, commit_x=(1, 1))) is None
+
+    def test_batch_rejects_off_subgroup_public(self):
+        rng = _rng("batch-subgroup")
+        items = _signed(rng, 3)
+        _, msg, sig = items[1]
+        items[1] = (random_point(rng), msg, sig)
+        assert not batch_verify_schnorr(items, rng=rng)
+
+    def test_batch_rejects_low_order_public(self):
+        rng = _rng("batch-low-order")
+        items = _signed(rng, 2)
+        _, msg, sig = items[0]
+        items[0] = (AffinePoint((0, 0), (PRIME_P - 1, 0)), msg, sig)
+        assert not batch_verify_schnorr(items, rng=rng)
+
+
+class TestBatchSoundness:
+    def test_forged_item_hidden_in_64_always_rejected(self):
+        rng = _rng("forged-64")
+        items = _signed(rng, 64)
+        public, _, sig = items[37]
+        items[37] = (public, b"forged payload", sig)
+        # One shot is sound with probability 1 - 2^-128 already; three
+        # independently weighted runs guard the test against a weight
+        # -generation bug that a single draw could mask.
+        for trial in range(3):
+            assert not batch_verify_schnorr(items, rng=_rng(f"w{trial}"))
+
+    def test_differential_batch_matches_per_item(self):
+        """Randomized mixes: the batch verdict is the AND of per-item."""
+        rng = _rng("differential")
+        for _ in range(4):
+            items = _signed(rng, rng.randrange(1, 7))
+            if rng.random() < 0.5:  # sometimes plant a forgery
+                i = rng.randrange(len(items))
+                public, _, sig = items[i]
+                items[i] = (public, b"tampered", sig)
+            expected = all(
+                fourq_schnorr.verify(pub, msg, sig) for pub, msg, sig in items
+            )
+            assert batch_verify_schnorr(items, rng=rng) is expected
+
+    def test_default_weights_come_from_system_random(self):
+        """Regression pin for the weak-RNG fix: with no injected rng the
+        weights must come from the OS CSPRNG, not ``random``."""
+        source = inspect.getsource(batch_verify_schnorr)
+        assert "SystemRandom" in source
+        sig = inspect.signature(batch_verify_schnorr)
+        assert sig.parameters["rng"].default is None

@@ -8,6 +8,7 @@ from repro.trace import (
     Tracer,
     Unit,
     trace_loop_iteration,
+    trace_msm_window,
     trace_scalar_mult,
 )
 
@@ -137,3 +138,33 @@ class TestFullTrace:
         assert "endo" not in names
         x_uid, y_uid = prog.tracer.outputs
         assert prog.tracer.trace[x_uid].value == prog.expected.x
+
+
+class TestMsmWindowTrace:
+    """The fixed-shape Pippenger bucket-window kernel."""
+
+    def test_shape_is_input_independent(self):
+        # The digits are fixed by construction, so any two traces of
+        # the same (n_points, window) must agree op-for-op — that is
+        # what lets the flow-artifact cache serve every MSM request.
+        import random
+
+        a = trace_msm_window(n_points=4, window=3, rng=random.Random(1))
+        b = trace_msm_window(n_points=4, window=3, rng=random.Random(2))
+        assert [op.kind for op in a.tracer.trace] == [
+            op.kind for op in b.tracer.trace
+        ]
+        assert [op.srcs for op in a.tracer.trace] == [
+            op.srcs for op in b.tracer.trace
+        ]
+
+    def test_sections_cover_bucket_pipeline(self):
+        prog = trace_msm_window(n_points=4, window=3)
+        names = {s[0] for s in prog.tracer.sections}
+        assert names == {"double", "bucket", "aggregate"}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            trace_msm_window(n_points=0)
+        with pytest.raises(ValueError):
+            trace_msm_window(n_points=4, window=1)
