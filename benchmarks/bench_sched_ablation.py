@@ -8,6 +8,12 @@ whole-program automated scheduling avoids this.
 This bench quantifies the claim on the real full-SM workload:
 sequential issue vs hand-style block-limited scheduling (several block
 sizes) vs whole-program list scheduling vs the CP-refined kernel.
+
+Run directly with ``--optimize`` for the trace-optimizer ablation
+(levels none / cse / full across the list and CP schedulers; see
+``docs/optimizer.md``):
+
+    PYTHONPATH=src python benchmarks/bench_sched_ablation.py --optimize
 """
 
 from repro.sched import (
@@ -77,3 +83,138 @@ def test_sched_cp_vs_list_on_kernel(benchmark, loop_prog):
           f"cp {res.schedule.makespan} cycles (optimal={res.optimal})")
     assert res.schedule.makespan <= lst.makespan
     assert res.optimal
+
+def test_sched_optimize_levels_full_program(full_prog):
+    """Optimizer ablation invariants on the full SM trace (list sched).
+
+    Every level's simulation passes the golden writeback checks and the
+    output-mapping verification; "none" is byte-identical to the
+    default flow; "cse"/"full" shrink the scheduled op count.
+    """
+    from repro.flow import _verify_outputs, run_flow
+
+    results = {}
+    for level in ("none", "cse", "full"):
+        flow = run_flow(full_prog, scheduler="list", optimize=level)
+        _verify_outputs(
+            flow.optimized_program or flow.trace_program,
+            flow.microprogram,
+            flow.simulation,
+        )
+        results[level] = flow
+
+    default = run_flow(full_prog, scheduler="list")
+    assert results["none"].microprogram == default.microprogram
+    assert (
+        results["none"].schedule.stable_hash() == default.schedule.stable_hash()
+    )
+    assert results["cse"].problem.size < results["none"].problem.size
+    assert results["full"].opt_stats.segments_reused > 0
+    for level in ("cse", "full"):
+        assert (
+            results[level].simulation.outputs == results["none"].simulation.outputs
+        )
+
+
+def run_optimize_ablation(smoke: bool = False) -> None:
+    """The ``--optimize`` CLI mode: optimizer-level x scheduler ablation.
+
+    Reports simulated cycles and cache-miss flow wall time per
+    (scheduler, level) cell and checks the acceptance gate: at
+    ``optimize="full"``, >=10% scheduled-cycle or >=25% compile-time
+    reduction against the same scheduler at ``optimize="none"`` —
+    with every golden writeback check and output verification passing,
+    and ``optimize="none"`` byte-identical to the default flow.
+
+    ``smoke`` skips the slow CP-at-none cell (the whole-program CP
+    solve runs for ~15 s; the memoized path is the point of the
+    comparison) so CI can exercise the harness quickly.
+    """
+    import time
+
+    from repro.flow import _verify_outputs, run_flow
+    from repro.trace import trace_scalar_mult
+
+    prog = trace_scalar_mult()
+    cells = {}
+    plans = [
+        ("list", "none", 3),
+        ("list", "cse", 3),
+        ("list", "full", 3),
+        ("cp", "none", 1),
+        ("cp", "full", 3),
+    ]
+    if smoke:
+        plans = [p for p in plans if p[:2] != ("cp", "none")]
+    for scheduler, level, reps in plans:
+        best = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            flow = run_flow(prog, scheduler=scheduler, optimize=level)
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+        _verify_outputs(
+            flow.optimized_program or flow.trace_program,
+            flow.microprogram,
+            flow.simulation,
+        )
+        cells[(scheduler, level)] = (flow, best)
+
+    default = run_flow(prog, scheduler="list")
+    assert cells[("list", "none")][0].microprogram == default.microprogram, (
+        "optimize='none' must be byte-identical to the default flow"
+    )
+
+    print("\nOptimizer ablation on trace_scalar_mult "
+          "(cache-miss flow wall, min over reps):")
+    print(f"  {'scheduler':<10} {'level':<6} {'cycles':>7} {'wall':>10}")
+    for (scheduler, level), (flow, wall) in cells.items():
+        print(f"  {scheduler:<10} {level:<6} {flow.cycles:>7} {wall * 1e3:>8.1f} ms")
+        if flow.opt_stats is not None:
+            print(f"  {'':<10} {'':6} -> {flow.opt_stats.summary()}"
+                  + (f"; segments {flow.opt_stats.segments_solved} solved /"
+                     f" {flow.opt_stats.segments_reused} reused"
+                     if flow.opt_stats.segments_total else ""))
+
+    gate_ok = False
+    for scheduler in ("list", "cp"):
+        if (scheduler, "none") not in cells or (scheduler, "full") not in cells:
+            continue
+        none_flow, none_wall = cells[(scheduler, "none")]
+        full_flow, full_wall = cells[(scheduler, "full")]
+        dcyc = 1 - full_flow.cycles / none_flow.cycles
+        dwall = 1 - full_wall / none_wall
+        passed = dcyc >= 0.10 or dwall >= 0.25
+        gate_ok = gate_ok or passed
+        print(f"  {scheduler}: full vs none -> cycle reduction {dcyc:+.1%}, "
+              f"compile-wall reduction {dwall:+.1%}"
+              f"  [{'PASS' if passed else 'no gate'}]")
+    if smoke:
+        print("  (smoke mode: cp/none cell skipped, gate not evaluated)")
+        return
+    assert gate_ok, (
+        "acceptance gate failed: no scheduler shows >=10% cycle or "
+        ">=25% compile-time reduction at optimize='full'"
+    )
+    print("  acceptance gate: PASS")
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the trace-optimizer level ablation",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="skip the ~15 s whole-program CP solve (CI harness check)",
+    )
+    args = parser.parse_args()
+    if args.optimize:
+        run_optimize_ablation(smoke=args.smoke)
+    else:
+        parser.error("choose a mode: --optimize")

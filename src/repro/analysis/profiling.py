@@ -11,9 +11,8 @@ curves' field-op budgets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..trace.ops import OpKind, Unit
 from ..trace.program import TraceProgram
 
 

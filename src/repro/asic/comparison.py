@@ -13,8 +13,7 @@ derives the paper's headline claims:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .technology import SOTBTechnology

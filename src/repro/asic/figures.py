@@ -9,7 +9,7 @@ paper's measured anchor points marked.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from .technology import PAPER_ANCHORS, SOTBTechnology
 

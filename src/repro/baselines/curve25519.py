@@ -8,7 +8,6 @@ the standard x-only Montgomery ladder and an operation counter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from .weierstrass import OpCounter
 

@@ -42,13 +42,13 @@ scalars" of the paper's Algorithm 1.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
-from ..field.fp2 import Fp2Raw, fp2_conj, fp2_mul, fp2_neg, fp2_sqr, fp2_sub
+from ..field.fp2 import Fp2Raw, fp2_conj, fp2_mul, fp2_sqr, fp2_sub
 from ..field.tower import f4, f4_mul, f4_neg, f4_sub, f4_sqrt, f4_inv
-from ..nt.poly import poly_quadratic_part, poly_roots, poly_split_quadratics, poly_deg
+from ..nt.poly import poly_quadratic_part, poly_split_quadratics, poly_deg
 from ..nt.primes import sqrt_mod_prime
 from .params import SUBGROUP_ORDER_N
 from .point import AffinePoint, random_subgroup_point

@@ -31,7 +31,7 @@ paper exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generic, List, TypeVar
+from typing import Generic, List, TypeVar
 
 from ..field.fp2 import (
     Fp2Raw,

@@ -27,17 +27,10 @@ load-bearing: tests assert the invariant Ta*Tb*Z == X*Y.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
-from ..field.fp2 import (
-    Fp2Raw,
-    fp2_add,
-    fp2_inv,
-    fp2_mul,
-    fp2_neg,
-    fp2_sub,
-)
-from ..field.tower import f4, f4_add, f4_in_base, f4_mul, f4_sqr
+from ..field.fp2 import Fp2Raw, fp2_mul
+from ..field.tower import f4, f4_add, f4_in_base, f4_mul
 from .derive import DerivedEndomorphisms, derive_endomorphisms
 from .edwards import Fp2Ops, PointR1, RAW_OPS
 from .wmodel import WeierstrassModel
@@ -125,8 +118,6 @@ def _poly_coeffs_from_velu_pair(iso5) -> FiveIsogenyStage:
     h^2 and the dX'/dx numerator over h^3 are then assembled by
     polynomial arithmetic.
     """
-    from ..nt.poly import poly_add, poly_mul
-
     (x1, v1, u1), (x2, v2, u2) = iso5.terms
 
     def lin(xq):  # (x - xq) as an F_{p^4} poly [(-xq), 1]

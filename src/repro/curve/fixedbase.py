@@ -19,7 +19,7 @@ constant-time.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from .edwards import (
     RAW_OPS,

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..field.fp2 import Fp2Raw, fp2_inv, fp2_mul
 from .decompose import FourQDecomposer
 from .edwards import (
     RAW_OPS,
@@ -47,7 +46,6 @@ from .endomorphisms import (
     default_decomposer,
     default_endomorphisms,
 )
-from .params import SUBGROUP_ORDER_N
 from .point import AffinePoint
 from .recoding import RecodedScalar, recode_glv_sac
 

@@ -22,7 +22,7 @@ itself), which lets every map here be represented as (X, X') pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from ..field.fp import P127
 from ..field.fp2 import (
@@ -47,9 +47,7 @@ from ..field.tower import (
     f4_in_base,
     f4_inv,
     f4_mul,
-    f4_neg,
     f4_sqr,
-    f4_sqrt,
     f4_sub,
 )
 from ..nt.poly import Poly, poly_mul, poly_sub

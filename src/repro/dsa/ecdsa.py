@@ -8,7 +8,6 @@ same job.  Message hashing uses the in-repo SHA-256.
 
 from __future__ import annotations
 
-import hmac
 import secrets
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -45,7 +44,6 @@ def generate_keypair(
     curve: WeierstrassCurve = P256, rng=None
 ) -> ECDSAKeyPair:
     """Pick d_A uniformly in [1, n-1] and compute Q_A = [d_A] G."""
-    randbelow = (rng.randrange if rng else secrets.randbelow)
     while True:
         if rng:
             d = rng.randrange(1, curve.n)

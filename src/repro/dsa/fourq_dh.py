@@ -16,7 +16,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Optional
 
-from ..curve.encoding import DecodingError, decode_point, encode_point
+from ..curve.encoding import decode_point, encode_point
 from ..curve.fixedbase import FixedBaseTable
 from ..curve.params import SUBGROUP_ORDER_N
 from ..curve.point import AffinePoint

@@ -11,7 +11,7 @@ the results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .asic.area import estimate_area
 from .asic.technology import SOTBTechnology, calibrate
@@ -105,7 +105,6 @@ def render_design_points(points: Sequence[DesignPoint]) -> str:
         f"{'variant':<30} {'cycles':>7} {'regs':>5} {'kGE':>6} "
         f"{'lat@1.2V':>9} {'kGE*ms':>7}"
     ]
-    base = points[0].cycles if points else 1
     for p in points:
         lines.append(
             f"{p.name:<30} {p.cycles:>7} {p.registers:>5} "

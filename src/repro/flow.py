@@ -24,12 +24,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 from .isa.fsm import FSMController, generate_fsm
 from .isa.microcode import MicroProgram, assemble, build_template
 from .isa.regalloc import allocate_registers
 from .obs import MetricsRegistry, get_registry
+from .opt import OPT_LEVELS, OptStats, memoized_schedule, optimize_trace
 from .rtl.datapath import DatapathSimulator, SimulationError, SimulationResult
 from .sched.cp_scheduler import cp_schedule
 from .sched.jobshop import JobShopProblem, MachineSpec, problem_from_trace
@@ -41,11 +42,50 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve imports flow)
     from .serve.cache import FlowArtifactCache
 
 #: Histogram of per-stage wall time (seconds), labeled ``stage=``
-#: problem / solve / regalloc / assemble / rebind / simulate (the
-#: engine adds ``trace``).
+#: problem / optimize / solve / regalloc / assemble / rebind / simulate
+#: (the engine adds ``trace``).
 FLOW_STAGE_SECONDS = "repro_flow_stage_seconds"
 #: Counter of flow passes, labeled ``path=`` miss / hit / fallback.
 FLOW_REQUESTS = "repro_flow_requests_total"
+#: Counter of optimizer invocations, labeled ``level=``.
+OPT_RUNS = "repro_opt_runs_total"
+#: Counter of micro-ops removed by the rewrite passes, labeled
+#: ``pass=`` cse / fold / dve.
+OPT_OPS_REMOVED = "repro_opt_ops_removed_total"
+#: Counter of memoized-scheduler segments, labeled ``outcome=``
+#: solved / reused.
+OPT_SEGMENTS = "repro_opt_segments_total"
+
+#: "auto" resolves to the CP scheduler for problems up to this many
+#: arithmetic ops, the list scheduler beyond.
+AUTO_CP_MAX_OPS = 64
+
+
+def resolve_scheduler(scheduler: str, trace_program: TraceProgram) -> str:
+    """Resolve ``"auto"`` to the concrete scheduler for this trace.
+
+    Shared with the cache keying: the shape key must be computed from
+    the *resolved* name, or an ``"auto"`` request and an explicit
+    ``"cp"``/``"list"`` request for the same trace fragment into two
+    cache entries holding byte-identical artifacts.  Resolution uses
+    the original trace's arithmetic-op count, so it never depends on
+    whether the optimizer runs.
+    """
+    if scheduler != "auto":
+        return scheduler
+    size = trace_program.tracer.arithmetic_size()
+    return "cp" if size <= AUTO_CP_MAX_OPS else "list"
+
+
+def _record_opt(obs: MetricsRegistry, stats: OptStats) -> None:
+    """Export one optimizer run's pass statistics."""
+    obs.counter(OPT_RUNS, level=stats.level).inc()
+    obs.counter(OPT_OPS_REMOVED, **{"pass": "cse"}).inc(stats.cse_merged)
+    obs.counter(OPT_OPS_REMOVED, **{"pass": "fold"}).inc(stats.const_folded)
+    obs.counter(OPT_OPS_REMOVED, **{"pass": "dve"}).inc(stats.dve_removed)
+    if stats.segments_total:
+        obs.counter(OPT_SEGMENTS, outcome="solved").inc(stats.segments_solved)
+        obs.counter(OPT_SEGMENTS, outcome="reused").inc(stats.segments_reused)
 
 
 @dataclass
@@ -68,6 +108,14 @@ class FlowResult:
     cache_hit: bool = False
     fallback: bool = False
     cache_key: Optional[str] = None
+    #: Optimization level the flow ran at ("none" = the legacy path).
+    optimize: str = "none"
+    #: Pass statistics when the optimizer ran (None at level "none").
+    opt_stats: Optional[OptStats] = None
+    #: The rewritten program actually scheduled/simulated at levels
+    #: "cse"/"full"; ``trace_program`` always stays the caller's
+    #: original recording.
+    optimized_program: Optional[TraceProgram] = None
 
     @property
     def cycles(self) -> int:
@@ -166,6 +214,7 @@ def run_flow(
     simulator: Optional[DatapathSimulator] = None,
     cache_key: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
+    optimize: str = "none",
 ) -> FlowResult:
     """Run the complete flow on a recorded trace.
 
@@ -190,13 +239,36 @@ def run_flow(
         metrics: registry receiving per-stage wall-time spans, the
             hit/miss/fallback counters, and the datapath unit profile
             (default: the process-wide :func:`repro.obs.get_registry`).
+        optimize: trace-optimizer level — ``"none"`` (the legacy flow,
+            byte-identical artifacts), ``"cse"`` (CSE + const-fold +
+            DVE rewrites), or ``"full"`` (rewrites plus memoized
+            sub-DAG scheduling).  Folded into the cache key, so cached
+            artifacts never cross optimization levels (see
+            ``docs/optimizer.md``).
 
     Returns:
         A :class:`FlowResult`; raises if any stage fails validation.
     """
+    if optimize not in OPT_LEVELS:
+        raise ValueError(f"optimize level must be one of {OPT_LEVELS}")
     machine = machine or MachineSpec()
-    tracer = trace_program.tracer
     obs = metrics if metrics is not None else get_registry()
+    scheduler = resolve_scheduler(scheduler, trace_program)
+    if scheduler not in ("cp", "list"):
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+
+    opt_stats: Optional[OptStats] = None
+    work_program = trace_program
+    if optimize != "none":
+        # The rewrite runs before the cache lookup: a hit still needs
+        # the *optimized* trace for rebind + golden values, so the hit
+        # path pays the (purely structural, deterministic) rewrite too.
+        t0 = perf_counter()
+        work_program, opt_stats = optimize_trace(trace_program, optimize)
+        obs.histogram(FLOW_STAGE_SECONDS, stage="optimize").observe(
+            perf_counter() - t0
+        )
+    tracer = work_program.tracer
 
     key = None
     fallback = False
@@ -204,14 +276,22 @@ def run_flow(
         key = (
             cache_key
             if cache_key is not None
-            else cache.key_for(trace_program, machine, scheduler)
+            else cache.key_for(trace_program, machine, scheduler, optimize)
         )
         entry = cache.get(key)
         if entry is not None:
             try:
-                return _run_from_artifacts(
-                    trace_program, entry, machine, check_golden, simulator, key, obs
+                result = _run_from_artifacts(
+                    work_program, entry, machine, check_golden, simulator, key, obs
                 )
+                result.trace_program = trace_program
+                result.optimize = optimize
+                result.opt_stats = opt_stats
+                if optimize != "none":
+                    result.optimized_program = work_program
+                    if opt_stats is not None:
+                        _record_opt(obs, opt_stats)
+                return result
             except (KeyError, IndexError, ValueError, RuntimeError):
                 # Shape-key collision or stale artifacts: recompute the
                 # full flow and replace the entry.  Correctness is never
@@ -219,7 +299,9 @@ def run_flow(
                 # The get() above counted a hit, but the fast path did
                 # not complete: reclassify it so hit_rate stays honest.
                 cache.demote_hit()
-                true_key = cache.key_for(trace_program, machine, scheduler)
+                true_key = cache.key_for(
+                    trace_program, machine, scheduler, optimize
+                )
                 if true_key == key:
                     # The entry under this key is genuinely bad.
                     cache.invalidate(key)
@@ -232,22 +314,30 @@ def run_flow(
             # The caller-supplied key missed: recompute the true digest
             # so the artifacts are filed under their real shape key (a
             # stale memo must not leak into the cache's key space).
-            key = cache.key_for(trace_program, machine, scheduler)
+            key = cache.key_for(trace_program, machine, scheduler, optimize)
 
     t0 = perf_counter()
     problem = problem_from_trace(tracer.trace, machine)
     obs.histogram(FLOW_STAGE_SECONDS, stage="problem").observe(perf_counter() - t0)
 
     t0 = perf_counter()
-    if scheduler == "auto":
-        scheduler = "cp" if problem.size <= 64 else "list"
-    if scheduler == "cp":
-        schedule = cp_schedule(problem, node_budget=cp_node_budget).schedule
-    elif scheduler == "list":
-        schedule = list_schedule(problem)
+    if optimize == "full":
+        # Memoized sub-DAG scheduling: solve each unique segment once
+        # (with the resolved scheduler), stitch with overlap-aware
+        # placement, validate the stitched whole.
+        schedule, memo_stats = memoized_schedule(
+            problem, sections=tracer.sections, solver=scheduler
+        )
+        if opt_stats is not None:
+            opt_stats.segments_total = memo_stats.segments_total
+            opt_stats.segments_solved = memo_stats.segments_solved
+            opt_stats.segments_reused = memo_stats.segments_reused
     else:
-        raise ValueError(f"unknown scheduler {scheduler!r}")
-    schedule.validate()
+        if scheduler == "cp":
+            schedule = cp_schedule(problem, node_budget=cp_node_budget).schedule
+        else:
+            schedule = list_schedule(problem)
+        schedule.validate()
     obs.histogram(FLOW_STAGE_SECONDS, stage="solve").observe(perf_counter() - t0)
 
     t0 = perf_counter()
@@ -266,7 +356,7 @@ def run_flow(
             tracer.trace,
             tracer.outputs,
             alloc=alloc,
-            output_names=_output_names(trace_program),
+            output_names=_output_names(work_program),
         )
         microprogram = template.rebind(tracer.trace)
     else:
@@ -275,7 +365,7 @@ def run_flow(
             schedule,
             tracer.trace,
             tracer.outputs,
-            output_names=_output_names(trace_program),
+            output_names=_output_names(work_program),
             alloc=alloc,
             validate=False,  # validated above
         )
@@ -288,6 +378,8 @@ def run_flow(
     sim = sim_engine.run(microprogram, check_golden=check_golden)
     obs.histogram(FLOW_STAGE_SECONDS, stage="simulate").observe(perf_counter() - t0)
     _record_simulation(obs, sim)
+    if opt_stats is not None:
+        _record_opt(obs, opt_stats)
     obs.counter(FLOW_REQUESTS, path="fallback" if fallback else "miss").inc()
 
     if cache is not None and key is not None:
@@ -315,6 +407,9 @@ def run_flow(
         cache_hit=False,
         fallback=fallback,
         cache_key=key,
+        optimize=optimize,
+        opt_stats=opt_stats,
+        optimized_program=work_program if optimize != "none" else None,
     )
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..trace.ops import OpKind, Unit
 from .microcode import ControlWord, MicroProgram, OperandSource

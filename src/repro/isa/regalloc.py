@@ -19,13 +19,12 @@ file the ASIC needs (and feeds the area model).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..sched.jobshop import JobShopProblem
 from ..sched.schedule import Schedule
 from ..trace.ops import MicroOp, OpKind
-from ..trace.tracer import Tracer
 
 
 @dataclass

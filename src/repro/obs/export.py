@@ -282,6 +282,26 @@ def render_report(doc: dict) -> str:
             )
         lines.append("")
 
+    opt_runs = [e for e in doc["counters"] if e["name"] == "repro_opt_runs_total"]
+    if opt_runs:
+        lines.append("trace optimizer")
+        for entry in opt_runs:
+            level = entry["labels"].get("level", "?")
+            lines.append(f"  runs ({level}): {int(entry['value'])}")
+        removed = [
+            e for e in doc["counters"] if e["name"] == "repro_opt_ops_removed_total"
+        ]
+        for entry in removed:
+            pass_name = entry["labels"].get("pass", "?")
+            lines.append(f"  ops removed ({pass_name}): {int(entry['value'])}")
+        segments = [
+            e for e in doc["counters"] if e["name"] == "repro_opt_segments_total"
+        ]
+        for entry in segments:
+            outcome = entry["labels"].get("outcome", "?")
+            lines.append(f"  segments ({outcome}): {int(entry['value'])}")
+        lines.append("")
+
     cache_events = [
         e for e in doc["counters"] if e["name"] == "repro_cache_events_total"
     ]

@@ -1,0 +1,28 @@
+"""Trace-level optimizer: rewrite passes + memoized sub-DAG scheduling.
+
+The opt-in stage between tracing and scheduling (see
+``docs/optimizer.md``):
+
+* :func:`optimize_trace` — CSE, constant folding, and dead-value
+  elimination over a recorded :class:`~repro.trace.program.TraceProgram`
+  (levels ``"cse"`` / ``"full"``; ``"none"`` is the identity);
+* :func:`memoized_schedule` — detect the recurring loop-body kernel,
+  solve each unique segment once, stitch with overlap-aware placement;
+* :data:`OPT_LEVELS`, :class:`OptStats`, :class:`MemoSchedStats` — the
+  accepted levels and the pass statistics surfaced through
+  :mod:`repro.obs`.
+
+Entry point for most callers: ``run_flow(..., optimize="cse"|"full")``.
+"""
+
+from .memo import MemoSchedStats, detect_repeats, memoized_schedule
+from .passes import OPT_LEVELS, OptStats, optimize_trace
+
+__all__ = [
+    "MemoSchedStats",
+    "OPT_LEVELS",
+    "OptStats",
+    "detect_repeats",
+    "memoized_schedule",
+    "optimize_trace",
+]

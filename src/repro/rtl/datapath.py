@@ -13,11 +13,11 @@ computed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..field.fp2 import Fp2Raw
-from ..isa.microcode import MicroProgram, Operand, OperandSource, UnitIssue
+from ..isa.microcode import MicroProgram, OperandSource, UnitIssue
 from ..trace.ops import OpKind, Unit
 from .addsub import AddSubStats, AddSubUnit
 from .multiplier import MultiplierStats, PipelinedMultiplier

@@ -9,7 +9,7 @@ from the start of the cycle; writes land at the end).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..field.fp2 import Fp2Raw

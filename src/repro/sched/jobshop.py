@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..trace.ops import MicroOp, OpKind, Unit
-from ..trace.tracer import Tracer
 
 
 @dataclass(frozen=True)

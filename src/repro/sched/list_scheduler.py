@@ -11,10 +11,10 @@ optima due to the reduced scheduling flexibility" (Section III-C).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from ..trace.ops import OpKind, Unit
-from .jobshop import JobShopProblem, MachineSpec, Task
+from ..trace.ops import Unit
+from .jobshop import JobShopProblem, Task
 from .schedule import Schedule
 
 

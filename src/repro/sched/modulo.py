@@ -23,11 +23,11 @@ the limit the paper's whole-program CP scheduling approaches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..trace.ops import Unit
-from .jobshop import JobShopProblem, MachineSpec, Task
+from .jobshop import JobShopProblem, Task
 from .list_scheduler import _critical_path_priority
 from .schedule import Schedule, ScheduleError
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..trace.ops import OpKind, Unit
 from .jobshop import JobShopProblem, Task
@@ -137,7 +137,6 @@ class Schedule:
         for t in prob.tasks:
             cyc = self.start[t.index]
             cell = by_cycle.setdefault(cyc, {})
-            label = t.name or f"v{t.uid}"
             srcs = ",".join(f"v{prob.tasks[d].uid}" for d in t.deps)
             if t.unit is Unit.MULTIPLIER:
                 cell["mult"] = f"{t.kind.value}({srcs})->v{t.uid}"

@@ -34,7 +34,10 @@ from ..trace.program import TraceProgram
 
 
 def trace_shape_key(
-    trace: Sequence[MicroOp], machine: MachineSpec, scheduler: str
+    trace: Sequence[MicroOp],
+    machine: MachineSpec,
+    scheduler: str,
+    optimize: str = "none",
 ) -> str:
     """Canonical digest of a trace's structure (values excluded).
 
@@ -42,12 +45,23 @@ def trace_shape_key(
     identically: op kinds and dependency uids are emission-order stable,
     and SELECT sources (whose order encodes the data-dependent chosen
     alternative) are sorted before hashing.
+
+    ``scheduler="auto"`` is resolved to its concrete choice *before*
+    keying, so an ``"auto"`` request and the equivalent explicit request
+    share one entry (they produce byte-identical artifacts).  The
+    ``optimize`` level is folded into the digest: the optimizer rewrites
+    the scheduled shape, so artifacts must never cross levels.
     """
+    if scheduler == "auto":
+        from ..flow import AUTO_CP_MAX_OPS
+
+        arith = sum(1 for op in trace if op.is_arithmetic)
+        scheduler = "cp" if arith <= AUTO_CP_MAX_OPS else "list"
     select = OpKind.SELECT
     parts = [
         f"machine:{machine.mult_latency},{machine.addsub_latency},"
         f"{machine.read_ports},{machine.write_ports},"
-        f"{int(machine.forwarding)};sched:{scheduler}"
+        f"{int(machine.forwarding)};sched:{scheduler};opt:{optimize}"
     ]
     # One string-build + one hash update: this runs per request on the
     # serving hot path, so per-op update() calls are avoided.
@@ -120,9 +134,10 @@ class FlowArtifactCache:
         trace_program: TraceProgram,
         machine: Optional[MachineSpec] = None,
         scheduler: str = "auto",
+        optimize: str = "none",
     ) -> str:
         return trace_shape_key(
-            trace_program.tracer.trace, machine or MachineSpec(), scheduler
+            trace_program.tracer.trace, machine or MachineSpec(), scheduler, optimize
         )
 
     def get(self, key: str) -> Optional[FlowArtifacts]:
@@ -173,12 +188,23 @@ class FlowArtifactCache:
             return self.hits / total if total else 0.0
 
     def counters(self) -> Tuple[int, int, int]:
-        """(hits, misses, evictions) snapshot."""
-        with self._lock:
-            return (self.hits, self.misses, self.evictions)
+        """(hits, misses, evictions) snapshot — legacy convenience view.
+
+        Kept for callers written against the original three-counter API;
+        it is a strict subset of :meth:`stats_snapshot` (same lock, same
+        consistency guarantee) and delegates to it.  New code should
+        prefer :meth:`stats_snapshot`, which also reports ``fallbacks``
+        and the live ``entries`` count.
+        """
+        snap = self.stats_snapshot()
+        return (snap["hits"], snap["misses"], snap["evictions"])
 
     def stats_snapshot(self) -> Dict[str, int]:
-        """Consistent counter snapshot (all four, one lock acquisition)."""
+        """Consistent snapshot of all five stats, one lock acquisition.
+
+        Keys: ``hits``, ``misses``, ``evictions``, ``fallbacks`` (the
+        four monotone counters) plus ``entries`` (the current LRU size).
+        """
         with self._lock:
             return {
                 "hits": self.hits,

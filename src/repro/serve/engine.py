@@ -64,7 +64,6 @@ from ..curve.multiscalar import (
     batch_verify_schnorr,
     multi_scalar_mul,
     pippenger_cost_model,
-    pippenger_window_bits,
     validate_verify_item,
 )
 from ..curve.params import SUBGROUP_ORDER_N
@@ -184,6 +183,10 @@ class BatchEngine:
         scheduler: ``"auto"`` / ``"list"`` / ``"cp"`` (forwarded to the
             flow; full scalar multiplications resolve to list
             scheduling).
+        optimize: trace-optimizer level forwarded to the flow —
+            ``"none"`` / ``"cse"`` / ``"full"`` (see
+            ``docs/optimizer.md``); folded into the shape keys, so an
+            engine never mixes artifacts across levels.
         cache_entries: LRU bound of the flow-artifact cache (each
             workload shape — single-base SM, double-base SM, per
             recoding length — occupies one entry).
@@ -225,6 +228,7 @@ class BatchEngine:
         self,
         machine: Optional[MachineSpec] = None,
         scheduler: str = "auto",
+        optimize: str = "none",
         cache_entries: int = 16,
         check_golden: bool = True,
         chunk_timeout: Optional[float] = None,
@@ -240,6 +244,7 @@ class BatchEngine:
             raise ValueError(f"circuit_mode must be one of {_CIRCUIT_MODES}")
         self.machine = machine or MachineSpec()
         self.scheduler = scheduler
+        self.optimize = optimize
         self.check_golden = check_golden
         self.chunk_timeout = chunk_timeout
         self.metrics = metrics if metrics is not None else get_registry()
@@ -314,6 +319,7 @@ class BatchEngine:
             prog,
             machine=self.machine,
             scheduler=self.scheduler,
+            optimize=self.optimize,
             check_golden=self.check_golden,
             cache=self.cache,
             simulator=self.simulator,
@@ -359,6 +365,7 @@ class BatchEngine:
             prog,
             machine=self.machine,
             scheduler=self.scheduler,
+            optimize=self.optimize,
             check_golden=self.check_golden,
             cache=self.cache,
             simulator=self.simulator,
@@ -391,6 +398,7 @@ class BatchEngine:
             prog,
             machine=self.machine,
             scheduler=self.scheduler,
+            optimize=self.optimize,
             check_golden=self.check_golden,
             cache=self.cache,
             simulator=self.simulator,
@@ -1083,6 +1091,7 @@ class BatchEngine:
             write_ports=self.machine.write_ports,
             forwarding=self.machine.forwarding,
             scheduler=self.scheduler,
+            optimize=self.optimize,
             cache_entries=self.cache.max_entries,
             check_golden=self.check_golden,
         )
@@ -1299,6 +1308,7 @@ class _EngineConfig:
     write_ports: int
     forwarding: bool
     scheduler: str
+    optimize: str
     cache_entries: int
     check_golden: bool
 
@@ -1322,6 +1332,7 @@ def _worker_init(config: _EngineConfig) -> None:
             forwarding=config.forwarding,
         ),
         scheduler=config.scheduler,
+        optimize=config.optimize,
         cache_entries=config.cache_entries,
         check_golden=config.check_golden,
         # Workers never fan out themselves; their engine needs no pool.

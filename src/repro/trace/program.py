@@ -13,7 +13,7 @@ ops object, producing self-checking micro-operation traces:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..curve.decompose import FourQDecomposer
@@ -38,8 +38,7 @@ from ..curve.params import SUBGROUP_ORDER_N
 from ..curve.point import AffinePoint
 from ..curve.recoding import recode_glv_sac
 from ..curve.scalarmult import build_table, fourq_main_loop
-from ..field.fp2 import Fp2Raw, fp2_inv, fp2_mul
-from .tracer import TracedValue, Tracer
+from .tracer import Tracer
 
 
 @dataclass
@@ -119,10 +118,19 @@ def trace_loop_iteration(
     q2 = ecc_double(q_r1, tracer)
     tracer.end_section()
     tracer.begin_section("select")
-    entry = r2_negate(t_r2, tracer) if negate else t_r2
-    if not negate:
-        # Keep the issued op pattern constant: negate anyway, use original.
-        r2_negate(t_r2, tracer)
+    # Constant-time sign selection — the idiom of the real main loop
+    # (scalarmult._r2_sign_select): the negation is always computed and
+    # muxes route the chosen sign, so both branches emit the identical
+    # op sequence AND the identical DAG shape (SELECT sources are
+    # sorted in the shape key).  Either sign therefore serves from one
+    # cached flow entry.  The negation is additionally pinned live:
+    # even if a future rewrite bypassed the mux, dead-value elimination
+    # must never delete the balanced op and split the shapes again.
+    from ..curve.scalarmult import _r2_sign_select
+
+    negated = r2_negate(t_r2, tracer)
+    tracer.mark_live(negated.t2d)
+    entry = _r2_sign_select(t_r2, negated, -1 if negate else 1, tracer)
     tracer.end_section()
     tracer.begin_section("add")
     q3 = ecc_add_core(q2, entry, tracer)
@@ -170,8 +178,10 @@ def trace_double_scalar_mult(
 
     p1 = p1 or AffinePoint.generator()
     p2 = p2 or random_subgroup_point(rng)
-    u1 = rng.randrange(2**256) if u1 is None else u1
-    u2 = rng.randrange(2**256) if u2 is None else u2
+    # Independent derived streams: passing one of u1/u2 explicitly must
+    # not shift which value the other defaults to.
+    u1 = random.Random(0xD5F1).randrange(2**256) if u1 is None else u1
+    u2 = random.Random(0xD5F2).randrange(2**256) if u2 is None else u2
     decomposer = decomposer or default_decomposer()
     compiled = compiled or compile_endomorphisms()
     phi_c, psi_c = compiled
@@ -498,7 +508,6 @@ def trace_scalar_mult(
         psiphi_r1 = frac_to_r1(fx_pp, fy_pp, tracer)
         tracer.end_section()
     else:
-        from .tracer import TracedValue as TV
 
         def load(pt: AffinePoint, tag: str) -> PointR1:
             raw = _affine_to_r1_raw(pt)

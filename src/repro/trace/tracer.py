@@ -57,6 +57,7 @@ class Tracer:
         self._const_cache: Dict[Fp2Raw, TracedValue] = {}
         self.inputs: List[int] = []
         self.outputs: List[int] = []
+        self.live: List[int] = []
         self.sections: List[Tuple[str, int, int]] = []
         self._open_sections: List[Tuple[str, int]] = []
 
@@ -130,6 +131,20 @@ class Tracer:
                 self.trace[value.uid] = MicroOp(
                     uid=op.uid, kind=op.kind, srcs=op.srcs, value=op.value, name=name
                 )
+
+    def mark_live(self, value: TracedValue) -> None:
+        """Pin a value as live without declaring it a program output.
+
+        The optimizer's dead-value elimination treats ``outputs`` and
+        ``live`` as its liveness roots; everything unreachable from them
+        is deleted.  Balanced-op-pattern workloads (constant-time code
+        that issues an op and discards the result so both branches cost
+        the same) must pin those intentionally dead results here, or the
+        optimizer would change the trace shape between branches.
+        ``mark_live`` also shields the value from being merged away by
+        common-subexpression elimination.
+        """
+        self.live.append(value.uid)
 
     # -- sections --------------------------------------------------------
     def begin_section(self, name: str) -> None:

@@ -180,7 +180,6 @@ class TestChaosStream:
             elif kind in ("kill", "hang"):
                 # Recovered to the parent's marker value, or typed
                 # transient failure — never a bare crash.
-                mode = "exit" if kind == "kill" else "sleep"
                 ok_marker = (
                     isinstance(outcome, Ok) and outcome.value[0] == "fault"
                 )

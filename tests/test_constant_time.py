@@ -1,15 +1,13 @@
 """Tests for the constant-time (scalar-independence) analysis."""
 
-import random
 
-import pytest
 
 from repro.analysis import (
     check_scalar_independence,
     check_schedule_independence,
     trace_shape,
 )
-from repro.trace import OpKind, Tracer, trace_scalar_mult
+from repro.trace import Tracer, trace_scalar_mult
 
 
 class TestTraceShape:

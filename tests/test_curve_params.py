@@ -1,6 +1,5 @@
 """Tests for FourQ parameters and the reference point arithmetic."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -1,13 +1,11 @@
 """Tests for the 4-dimensional scalar decomposition."""
 
-import random
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.curve.decompose import (
-    Decomposition,
     FourQDecomposer,
     phi_eigenvalue_candidates,
     psi_eigenvalue_candidates,

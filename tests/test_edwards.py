@@ -5,7 +5,6 @@ reference affine group law AND hit the exact operation counts the paper
 reports (15 muls + 13 add/subs per main-loop iteration).
 """
 
-import random
 
 import pytest
 
@@ -22,7 +21,7 @@ from repro.curve.edwards import (
     r2_negate,
 )
 from repro.curve.point import AffinePoint, random_subgroup_point
-from repro.field.fp2 import Fp2Raw, fp2_inv, fp2_mul
+from repro.field.fp2 import fp2_inv, fp2_mul
 
 
 class CountingOps:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.curve.derive import derive_endomorphisms
 from repro.curve.endomaps import (
     apply_compiled_endo,
     apply_compiled_endo_frac,

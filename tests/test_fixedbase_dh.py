@@ -1,6 +1,5 @@
 """Tests for fixed-base comb multiplication and FourQ Diffie-Hellman."""
 
-import random
 
 import pytest
 

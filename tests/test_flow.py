@@ -8,12 +8,10 @@ mathematical layer computes, including the full [k]P result.
 
 import pytest
 
-from repro.curve.params import SUBGROUP_ORDER_N
 from repro.curve.point import AffinePoint
 from repro.flow import run_flow
-from repro.isa import assemble, generate_fsm
 from repro.rtl import DatapathSimulator, SimulationError
-from repro.sched import MachineSpec, list_schedule, problem_from_trace
+from repro.sched import MachineSpec
 from repro.trace import trace_loop_iteration, trace_scalar_mult
 
 

@@ -11,7 +11,6 @@ far beyond the curve workloads.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

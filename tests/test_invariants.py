@@ -3,7 +3,6 @@
 import pytest
 
 from repro.curve.invariants import (
-    CurveInvariants,
     compute_invariants,
     eigenvalue_relations_hold,
     frobenius_trace,

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.isa import (
-    Allocation,
-    OperandSource,
-    allocate_registers,
-    assemble,
-    generate_fsm,
-)
+from repro.isa import OperandSource, allocate_registers, assemble, generate_fsm
 from repro.sched import cp_schedule, list_schedule, problem_from_trace
 from repro.trace import OpKind, Tracer, trace_loop_iteration
 

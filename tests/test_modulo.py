@@ -9,7 +9,6 @@ from repro.sched import (
     problem_from_trace,
     validate_by_unrolling,
 )
-from repro.sched.schedule import ScheduleError
 from repro.trace import trace_loop_iteration, trace_loop_iterations
 
 

@@ -20,7 +20,7 @@ import pytest
 
 from repro.curve.multiscalar import multi_scalar_mul
 from repro.curve.params import SUBGROUP_ORDER_N
-from repro.curve.point import AffinePoint, random_subgroup_point
+from repro.curve.point import random_subgroup_point
 from repro.dsa import fourq_schnorr
 from repro.obs import MetricsRegistry
 from repro.serve import BatchEngine, Failed, Frontend

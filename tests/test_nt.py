@@ -1,7 +1,6 @@
 """Tests for the number-theory substrate: primes, lattices, polynomials."""
 
 import random
-from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings
@@ -24,7 +23,6 @@ from repro.nt.poly import (
     poly_quadratic_part,
     poly_roots,
     poly_split_quadratics,
-    poly_sub,
     poly_trim,
 )
 
@@ -184,14 +182,12 @@ class TestPoly:
         assert poly_pow_mod(f, 2, mod) == [ZERO, (2, 0)]
 
     def test_quadratic_part_and_split(self):
-        rng = random.Random(6)
         # Build (x - r1)(x - r2) * (irreducible quadratic) * ...
         from repro.field.tower import XI
         from repro.field.fp2 import fp2_neg
 
         lin = poly_from_roots([(3, 4), (5, 6)])
         irr1 = [fp2_neg(XI), ZERO, ONE]  # x^2 - xi, irreducible
-        irr2 = [fp2_neg((XI[0], XI[1] + 1)), (1, 0), ONE]  # likely irreducible or split
         f = poly_mul(lin, irr1)
         qp = poly_quadratic_part(f)
         # The quadratic part contains everything here (all roots in Fp4).

@@ -15,7 +15,6 @@ import threading
 import pytest
 
 from repro.obs import (
-    DEFAULT_RESERVOIR_CAP,
     ExportSchemaError,
     MetricsRegistry,
     NullRegistry,

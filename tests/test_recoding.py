@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.curve.recoding import RecodedScalar, recode_glv_sac, recoded_to_scalars
+from repro.curve.recoding import recode_glv_sac, recoded_to_scalars
 
 odd64 = st.integers(min_value=0, max_value=2**63 - 1).map(lambda v: 2 * v + 1)
 any64 = st.integers(min_value=0, max_value=2**64 - 1)

@@ -1,8 +1,6 @@
 """Tests for scalar multiplication: Algorithm 1 and the reference methods."""
 
-import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

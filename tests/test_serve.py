@@ -63,10 +63,10 @@ class TestShapeKey:
         # Different inputs, same workload: the key ignores values.
         other = trace_loop_iteration(random.Random(2))
         assert trace_shape_key(other.tracer.trace, MachineSpec(), "auto") == base
-        # Different operand routing (negate=False wires the add straight
-        # to the table inputs) is a different DAG, hence a different key.
+        # Either sign routes through the constant-time mux, so the DAG
+        # shape — and therefore the key — is identical for both signs.
         rerouted = trace_loop_iteration(random.Random(2), negate=False)
-        assert trace_shape_key(rerouted.tracer.trace, MachineSpec(), "auto") != base
+        assert trace_shape_key(rerouted.tracer.trace, MachineSpec(), "auto") == base
 
 
 class TestHitMissEquivalence:
@@ -93,7 +93,8 @@ class TestHitMissEquivalence:
     def test_property_loop_many_workloads(self):
         """Seeded sweep: every cache-hit simulation equals the uncached one."""
         cache = FlowArtifactCache()
-        # Prime both workload shapes (negate toggles the operand routing).
+        # One priming run; both negate signs share the mux-selected
+        # shape, so every later request (either sign) is a cache hit.
         run_flow(trace_loop_iteration(random.Random(0)), cache=cache)
         run_flow(trace_loop_iteration(random.Random(0), negate=False), cache=cache)
         for seed in range(1, 5):
@@ -105,7 +106,7 @@ class TestHitMissEquivalence:
             assert cached.cache_hit
             assert cached.microprogram == plain.microprogram
             assert cached.simulation.outputs == plain.simulation.outputs
-        assert cache.counters() == (4, 2, 0)
+        assert cache.counters() == (5, 1, 0)
 
 
 class TestLRUBound:

@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.trace import (
-    MicroOp,
-    OpKind,
-    Tracer,
-    Unit,
-    trace_loop_iteration,
-    trace_msm_window,
-    trace_scalar_mult,
-)
+from repro.trace import OpKind, Tracer, trace_loop_iteration, trace_msm_window, trace_scalar_mult
 
 
 class TestTracer:

@@ -17,7 +17,7 @@ from repro.curve.wmodel import (
 )
 from repro.field.fp2 import fp2_conj, fp2_mul, fp2_neg, fp2_sqr
 from repro.field.tower import f4, f4_in_base
-from repro.nt.poly import poly_deg, poly_eval
+from repro.nt.poly import poly_deg
 
 
 @pytest.fixture(scope="module")
