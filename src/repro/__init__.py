@@ -52,7 +52,7 @@ from .dse import (
 from .flow import FlowResult, run_flow
 from .trace import trace_loop_iteration, trace_scalar_mult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AffinePoint",

@@ -1,5 +1,10 @@
 """Command-line entry point: ``python -m repro [command]``.
 
+The command table below is the single source of truth — ``--help``
+renders it, and ``tests/test_cli.py`` asserts every registered
+subcommand appears here, so it cannot drift the way a hand-written
+list would.
+
 Commands:
 
 * ``summary`` (default) — run the full design flow once and print the
@@ -16,9 +21,17 @@ Commands:
   (``serve [N] [--rate R] [--max-batch B] [--max-wait-ms W]
   [--policy P] [--queue Q] [--workers W] [--poison R] [--verify R]
   [--smoke] [--metrics-out PATH]``);
+* ``serve-net`` — the TCP front door: run the framed-protocol network
+  server (``serve-net [--port P] [--serve-for S] ...``), drive it as a
+  load-generating client (``serve-net --connect HOST:PORT [N]
+  [--clients C] ...``), or run the two-process end-to-end smoke
+  (``serve-net --smoke``);
 * ``metrics`` — validate/inspect a metrics export, or run a small
   instrumented workload and print the observability report
   (``metrics [PATH] [--check]``).
+
+``repro --version`` prints the package version; ``repro --help`` lists
+every subcommand.
 """
 
 from __future__ import annotations
@@ -500,6 +513,347 @@ def cmd_serve(argv=()) -> int:
     return 0
 
 
+def cmd_serve_net(argv=()) -> int:
+    """The TCP front door: server, load-driving client, or e2e smoke.
+
+    **Server** (default): warm a real engine, own a Frontend, and serve
+    the framed protocol until SIGTERM/SIGINT (graceful GOAWAY drain) or
+    ``--serve-for`` seconds elapse.  ``--port 0`` binds an ephemeral
+    port; the bound port is printed and, with ``--port-file``, written
+    atomically for orchestration.
+
+    **Client** (``--connect HOST:PORT [N]``): stream N requests across
+    ``--clients`` concurrent connections, re-check a sample of results
+    against the math layer, and report aggregate throughput.
+    ``--poison R`` injects invalid DH requests that must come back as
+    typed failures; ``--deadline-ms`` attaches a relative budget to
+    every request.
+
+    **Smoke** (``--smoke``): the CI end-to-end — spawn the server as a
+    real second process on an ephemeral port, drive the client path
+    against it, then SIGTERM it and require a clean graceful-drain
+    exit.  ``--metrics-out PATH`` is forwarded to the server process,
+    which exports its registry (the ``repro_net_*`` series) on drain.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro serve-net")
+    parser.add_argument("n", nargs="?", type=int, default=None,
+                        help="client mode: requests to stream "
+                             "(default 32; 12 with --smoke)")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="run as a client against a serving instance")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="server bind port (default 0 = ephemeral)")
+    parser.add_argument("--port-file", metavar="PATH", default=None,
+                        help="server mode: write the bound port to PATH "
+                             "(atomically) once accepting")
+    parser.add_argument("--serve-for", type=float, default=None,
+                        help="server mode: drain and exit after this many "
+                             "seconds (default: until SIGTERM)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="client mode: concurrent connections "
+                             "(default 4)")
+    parser.add_argument("--poison", type=float, default=0.0, metavar="R",
+                        help="client mode: ratio in [0, 1) of requests "
+                             "replaced by invalid DH material")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="client mode: per-request relative budget; "
+                             "server mode: Frontend default_deadline_ms "
+                             "clamp")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="server mode: coalescer flush size")
+    parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                        help="server mode: coalescer flush deadline (ms)")
+    parser.add_argument("--policy", choices=("block", "reject", "shed"),
+                        default="block",
+                        help="server mode: Frontend admission policy")
+    parser.add_argument("--queue", type=int, default=256,
+                        help="server mode: per-kind queue bound")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="server mode: engine fan-out per flush")
+    parser.add_argument("--max-inflight", type=int, default=32,
+                        help="server mode: per-connection outstanding cap")
+    parser.add_argument("--max-pending", type=int, default=1024,
+                        help="server mode: global pending cap before "
+                             "oldest-deadline-first shedding")
+    parser.add_argument("--seed", type=lambda s: int(s, 0), default=0x5EED)
+    parser.add_argument("--smoke", action="store_true",
+                        help="two-process end-to-end smoke (CI)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the metrics registry as JSON to PATH "
+                             "(+ Prometheus text alongside)")
+    args = parser.parse_args(list(argv))
+    if not 0.0 <= args.poison < 1.0:
+        print("--poison must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.clients < 1:
+        print("--clients must be >= 1", file=sys.stderr)
+        return 2
+    if args.smoke:
+        return _serve_net_smoke(args)
+    if args.connect is not None:
+        if args.n is None:
+            args.n = 32
+        rc = _serve_net_client(args)
+    else:
+        rc = _serve_net_server(args)
+    if rc == 0 and args.metrics_out:
+        from .obs import ExportSchemaError, get_registry, write_exports
+
+        try:
+            json_path, prom_path = write_exports(
+                get_registry().snapshot(), args.metrics_out
+            )
+        except ExportSchemaError as exc:
+            print(f"FAIL: metrics export is schema-invalid: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"metrics written  : {json_path} (+ {prom_path})")
+    return rc
+
+
+def _serve_net_server(args) -> int:
+    """``serve-net`` server mode (blocking until drain completes)."""
+    import asyncio
+    import os
+
+    from .serve import BatchEngine, FrontendConfig
+    from .serve.net import NetServer, NetServerConfig
+
+    print("Warming the engine (one-time curve artifacts + first flow)...",
+          flush=True)
+    engine = BatchEngine()
+    engine.warm()
+    server = NetServer(
+        engine=engine,
+        frontend_config=FrontendConfig(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.queue,
+            policy=args.policy,
+            workers=args.workers,
+            default_deadline_ms=args.deadline_ms,
+        ),
+        config=NetServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight_per_conn=args.max_inflight,
+            max_pending_total=args.max_pending,
+        ),
+    )
+
+    async def run() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        print(f"serving on {args.host}:{server.port} "
+              f"(SIGTERM drains gracefully)", flush=True)
+        if args.port_file:
+            # Atomic write: pollers never read a half-written port.
+            tmp = f"{args.port_file}.tmp"
+            with open(tmp, "w") as fh:
+                fh.write(str(server.port))
+            os.replace(tmp, args.port_file)
+        if args.serve_for is not None:
+            try:
+                await asyncio.wait_for(
+                    server.serve_until_closed(), timeout=args.serve_for
+                )
+            except asyncio.TimeoutError:
+                await server.aclose()
+        else:
+            await server.serve_until_closed()
+
+    try:
+        asyncio.run(run())
+    finally:
+        engine.close()
+    print()
+    print(server.stats.report())
+    print("drained cleanly")
+    return 0
+
+
+def _serve_net_client(args) -> int:
+    """``serve-net --connect`` client mode: drive, self-check, report."""
+    import asyncio
+    import random
+    import time
+
+    from .curve.encoding import encode_point
+    from .curve.point import AffinePoint
+    from .curve.scalarmult import scalar_mul_fourq
+    from .dsa import fourq_dh
+    from .serve import Failed
+    from .serve.net import NetClient
+
+    host, _, port_s = args.connect.rpartition(":")
+    try:
+        port = int(port_s)
+    except ValueError:
+        print(f"--connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    host = host or "127.0.0.1"
+
+    rng = random.Random(args.seed)
+    generator = AffinePoint.generator()
+    me = fourq_dh.generate_keypair(rng)
+    requests = []  # (kind, payload, poisoned?)
+    for i in range(args.n):
+        if args.poison and rng.random() < args.poison:
+            bad = (encode_point(AffinePoint.identity())
+                   if i % 2 == 0 else b"\xff" * 32)
+            requests.append(("dh", (me.private, bad), True))
+        else:
+            requests.append(("sm", (rng.randrange(2**256), generator), False))
+
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    print(f"Streaming {args.n} requests over {args.clients} TCP "
+          f"connection(s) to {host}:{port}"
+          + (f", poison={args.poison:g}" if args.poison else "")
+          + (f", deadline={args.deadline_ms:g} ms" if args.deadline_ms
+             else "") + "...")
+
+    async def drive():
+        clients = [
+            await NetClient.connect(host, port,
+                                    client_name=f"repro-cli-{i}")
+            for i in range(args.clients)
+        ]
+        try:
+            t0 = time.perf_counter()
+            outcomes = await asyncio.gather(*[
+                clients[i % len(clients)].submit_outcome(
+                    kind, payload, deadline=deadline
+                )
+                for i, (kind, payload, _) in enumerate(requests)
+            ])
+            wall = time.perf_counter() - t0
+        finally:
+            for c in clients:
+                await c.aclose()
+        return outcomes, wall
+
+    outcomes, wall = asyncio.run(asyncio.wait_for(drive(), timeout=600))
+
+    ok = sum(1 for o in outcomes if not isinstance(o, Failed))
+    kinds = {}
+    for o in outcomes:
+        if isinstance(o, Failed):
+            kinds[o.kind] = kinds.get(o.kind, 0) + 1
+    print(f"completed        : {len(outcomes)}/{args.n} "
+          f"({ok} ok"
+          + "".join(f", {k}={v}" for k, v in sorted(kinds.items())) + ")")
+    print(f"wall time        : {wall * 1e3:.1f} ms")
+    print(f"streamed ops/s   : {len(outcomes) / wall:.2f}")
+
+    # Self-check: typed outcomes line up with what was sent, and a
+    # sample of clean scalarmults matches the math layer.
+    checked = mismatches = deadline_hits = 0
+    for (kind, payload, poisoned), outcome in zip(requests, outcomes):
+        failed = isinstance(outcome, Failed)
+        if failed and outcome.kind == "deadline" and args.deadline_ms:
+            deadline_hits += 1
+            continue
+        if poisoned != failed:
+            mismatches += 1
+        elif kind == "sm" and not failed and checked < 8:
+            k, p = payload
+            ref = scalar_mul_fourq(k, p)
+            if (outcome.value.x, outcome.value.y) != (ref.x, ref.y):
+                mismatches += 1
+            checked += 1
+    if mismatches:
+        print(f"FAIL: {mismatches} wire outcome(s) diverged", file=sys.stderr)
+        return 1
+    print(f"PASS: outcomes verified ({checked} re-checked against the "
+          f"math layer"
+          + (f"; {deadline_hits} hit their deadline" if deadline_hits else "")
+          + ")")
+    return 0
+
+
+def _serve_net_smoke(args) -> int:
+    """``serve-net --smoke``: spawn a real server process, drive it,
+    SIGTERM it, and require a graceful exit — the CI end-to-end."""
+    import os
+    import signal
+    import subprocess
+    import tempfile
+    import time
+
+    n = args.n if args.n is not None else 12
+    with tempfile.TemporaryDirectory(prefix="repro-net-smoke-") as tmp:
+        port_file = os.path.join(tmp, "port")
+        cmd = [
+            sys.executable, "-m", "repro", "serve-net",
+            "--port", "0", "--port-file", port_file,
+            "--serve-for", "600",
+            "--max-batch", str(args.max_batch),
+            "--max-wait-ms", str(args.max_wait_ms),
+        ]
+        if args.metrics_out:
+            # The server process owns the interesting registry (the
+            # repro_net_* series live there, not in this driver), so
+            # the export is written by the server on drain.
+            cmd += ["--metrics-out", args.metrics_out]
+        print(f"smoke: spawning server: {' '.join(cmd)}", flush=True)
+        proc = subprocess.Popen(cmd)
+        try:
+            deadline = time.monotonic() + 180  # engine warm included
+            while not os.path.exists(port_file):
+                if proc.poll() is not None:
+                    print(f"FAIL: server exited early "
+                          f"(rc={proc.returncode})", file=sys.stderr)
+                    return 1
+                if time.monotonic() > deadline:
+                    print("FAIL: server never published its port",
+                          file=sys.stderr)
+                    return 1
+                time.sleep(0.1)
+            with open(port_file) as fh:
+                port = int(fh.read().strip())
+            print(f"smoke: server is up on port {port}", flush=True)
+
+            client_args = _SmokeClientArgs(args, port, n)
+            rc = _serve_net_client(client_args)
+            if rc != 0:
+                return rc
+
+            print("smoke: SIGTERM -> graceful drain...", flush=True)
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=60)
+            if rc != 0:
+                print(f"FAIL: server exited {rc} after SIGTERM",
+                      file=sys.stderr)
+                return 1
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+    if args.metrics_out and not os.path.exists(args.metrics_out):
+        print(f"FAIL: server never wrote {args.metrics_out}",
+              file=sys.stderr)
+        return 1
+    print("smoke: PASS (served, verified, drained, exited 0)")
+    return 0
+
+
+class _SmokeClientArgs:
+    """Client-mode view of the smoke's argparse namespace."""
+
+    def __init__(self, args, port: int, n: int):
+        self.connect = f"127.0.0.1:{port}"
+        self.n = n
+        self.clients = args.clients
+        self.poison = args.poison
+        self.deadline_ms = args.deadline_ms
+        self.seed = args.seed
+
+
 def cmd_metrics(argv=()) -> int:
     """Validate or render a metrics export, or produce one live.
 
@@ -568,16 +922,49 @@ COMMANDS = {
     "keygen": cmd_keygen,
     "serve-bench": cmd_serve_bench,
     "serve": cmd_serve,
+    "serve-net": cmd_serve_net,
     "metrics": cmd_metrics,
 }
 
 #: Commands that parse their own trailing arguments.
-ARG_COMMANDS = {"serve-bench", "serve", "metrics"}
+ARG_COMMANDS = {"serve-bench", "serve", "serve-net", "metrics"}
+
+#: One-line help per command, rendered by ``--help`` (and asserted
+#: in-sync with COMMANDS by tests/test_cli.py).
+COMMAND_HELP = {
+    "summary": "full design flow + chip datasheet (default)",
+    "verify": "parameter and endomorphism self-verification",
+    "table1": "CP-optimal loop-kernel schedule",
+    "keygen": "demo FourQ keypair",
+    "serve-bench": "batch-engine benchmark vs per-request flows",
+    "serve": "in-process continuous-batching front door demo",
+    "serve-net": "TCP front door: server / client / e2e smoke",
+    "metrics": "validate or render a metrics export",
+}
+
+
+def _usage() -> str:
+    lines = ["usage: repro [--version] [--help] COMMAND [ARGS...]", "",
+             "commands:"]
+    for name in COMMANDS:
+        lines.append(f"  {name:<12} {COMMAND_HELP[name]}")
+    lines.append("")
+    lines.append("commands taking ARGS support their own --help "
+                 f"({', '.join(sorted(ARG_COMMANDS))})")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     name = argv[0] if argv else "summary"
+    if name in ("--version", "-V"):
+        from . import __version__
+
+        print(f"repro {__version__}")
+        return 0
+    if name in ("--help", "-h", "help"):
+        print(_usage())
+        return 0
     cmd = COMMANDS.get(name)
     if cmd is None:
         print(f"unknown command {name!r}; choose from "

@@ -63,16 +63,37 @@ from .scalarmult import (
     scalar_mul_wnaf,
 )
 
-#: Batch size at which the bucket method overtakes Straus-Shamir.
-#: Measured on the reference Python field arithmetic: warm Straus costs
-#: ~3.3 ms/point (endomorphisms + 8-entry table dominate), while
-#: Pippenger's shared doubling chain and table-free windows amortize to
-#: less than that once ~8 points split the fixed 246-doubling cost.
+# --------------------------------------------------------------------------
+# Tunables.  These three constants are the module's public performance
+# knobs; everything else derives from them.  tests/test_multiscalar.py
+# pins their measured values and invariants so a retune is a deliberate,
+# reviewed act (re-run ``benchmarks/bench_msm.py`` before changing any).
+# --------------------------------------------------------------------------
+
+#: Batch size at which the bucket method overtakes Straus-Shamir and
+#: ``multi_scalar_mul(method="auto")`` switches.  Counted over *live*
+#: pairs (identity points and zero scalars excluded).  Measured on the
+#: reference Python field arithmetic (PR 8, ``bench_msm.py``): warm
+#: Straus costs ~3.3 ms/point (endomorphisms + 8-entry table dominate),
+#: while Pippenger's shared doubling chain and table-free windows
+#: amortize below that once ~8 points split the fixed 246-doubling
+#: cost.  ``test_crossover_is_where_the_cost_model_says`` pins the
+#: value and checks that amortization story against
+#: :func:`pippenger_cost_model`.
 PIPPENGER_CROSSOVER = 8
 
-#: Scalar bit-width the window heuristic assumes (scalars are reduced
-#: mod the ~246-bit subgroup order before windowing).
-_SCALAR_BITS = 246
+#: Window-width clamp for :func:`pippenger_window_bits`.  Below 2 bits
+#: the bucket method degenerates (one bucket per window); above 8 bits
+#: the 2^c-bucket fold swamps any batch size this serving stack sees
+#: (the fold costs ~2*2^c adds per window against n/2^c saved per
+#: point).
+PIPPENGER_WINDOW_MIN = 2
+PIPPENGER_WINDOW_MAX = 8
+
+#: Scalar bit-width the window heuristic and cost model assume
+#: (scalars are reduced mod the ~246-bit subgroup order before
+#: windowing).
+MSM_SCALAR_BITS = 246
 
 _MSM_METHODS = ("auto", "straus", "pippenger")
 
@@ -82,11 +103,11 @@ def pippenger_window_bits(n: int) -> int:
 
     The classic balance point: bucket aggregation costs ~2*2^c adds per
     window while the per-point work saves bits/c adds, giving
-    c ~ log2(n).  Clamped to [2, 8] — below 2 the bucket method
-    degenerates, above 8 the 2^c-bucket fold swamps any realistic batch
-    this serving stack sees.
+    c ~ log2(n), clamped to [:data:`PIPPENGER_WINDOW_MIN`,
+    :data:`PIPPENGER_WINDOW_MAX`].
     """
-    return max(2, min(8, n.bit_length() - 1))
+    return max(PIPPENGER_WINDOW_MIN,
+               min(PIPPENGER_WINDOW_MAX, n.bit_length() - 1))
 
 
 def msm_bucket_window(
@@ -158,7 +179,7 @@ def msm_bucket_window(
 
 
 def pippenger_cost_model(
-    n: int, window: Optional[int] = None, bits: int = _SCALAR_BITS
+    n: int, window: Optional[int] = None, bits: int = MSM_SCALAR_BITS
 ) -> Tuple[int, int]:
     """Estimated (multiplier_ops, addsub_ops) for an n-point bucket MSM.
 

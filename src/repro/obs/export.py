@@ -345,6 +345,51 @@ def render_report(doc: dict) -> str:
             )
         lines.append("")
 
+    net_conns = [
+        e for e in doc["counters"] if e["name"] == "repro_net_connections_total"
+    ]
+    net_requests = [
+        e for e in doc["counters"] if e["name"] == "repro_net_requests_total"
+    ]
+    if net_conns or net_requests:
+        lines.append("network front door (TCP)")
+        by_event = {e["labels"].get("event", "?"): e["value"] for e in net_conns}
+        conn_bits = "  ".join(
+            f"{event}={int(by_event[event])}" for event in sorted(by_event)
+        )
+        open_rows = list(_find(doc, "gauges", "repro_net_connections_open"))
+        if open_rows:
+            conn_bits += f"  open={int(open_rows[0]['value'])}"
+        lines.append(f"  connections : {conn_bits}")
+        for entry in net_requests:
+            kind = entry["labels"].get("kind", "?")
+            outcome = entry["labels"].get("outcome", "?")
+            lines.append(f"  {kind:<8} {outcome:<10}: {int(entry['value'])}")
+        frames_in = counter_value(doc, "repro_net_frames_total", direction="in")
+        frames_out = counter_value(doc, "repro_net_frames_total", direction="out")
+        bytes_in = counter_value(doc, "repro_net_bytes_total", direction="in")
+        bytes_out = counter_value(doc, "repro_net_bytes_total", direction="out")
+        if frames_in or frames_out:
+            lines.append(
+                f"  frames in/out : {int(frames_in)} / {int(frames_out)}"
+                f"  ({int(bytes_in)} / {int(bytes_out)} bytes)"
+            )
+        grants = counter_value(doc, "repro_net_rr_grants_total")
+        if grants:
+            lines.append(f"  rr grants   : {int(grants)}")
+        for entry in _find(doc, "counters", "repro_net_shed_total"):
+            reason = entry["labels"].get("reason", "?")
+            lines.append(f"  shed[{reason}]: {int(entry['value'])}")
+        for entry in _find(doc, "counters", "repro_net_protocol_errors_total"):
+            kind = entry["labels"].get("kind", "?")
+            lines.append(f"  protocol error[{kind}]: {int(entry['value'])}")
+        for entry in _find(doc, "histograms", "repro_net_request_latency_seconds"):
+            lines.append(
+                f"  request latency : p50 {entry['p50'] * 1e3:.1f} ms"
+                f"  p99 {entry['p99'] * 1e3:.1f} ms"
+            )
+        lines.append("")
+
     items = [e for e in doc["counters"] if e["name"] == "repro_serve_items_total"]
     if items:
         lines.append("serving items")

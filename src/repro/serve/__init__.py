@@ -24,6 +24,13 @@ requests the way the paper's chip amortizes its silicon:
   coalesced into engine batches (flush on size-or-deadline), bounded
   queues with block/reject/shed admission control, end-to-end request
   deadlines, graceful drain, and :mod:`repro.obs` instrumentation;
+* :mod:`~repro.serve.net` — the network front door:
+  :class:`~repro.serve.net.server.NetServer` exposes the Frontend over
+  a length-prefixed framed TCP protocol with round-robin
+  per-connection fairness, layered load shedding, clamped deadline
+  propagation, and graceful GOAWAY drain;
+  :class:`~repro.serve.net.client.NetClient` is the matching pipelined
+  client library (see ``docs/protocol.md``);
 * :mod:`~repro.serve.resilience` — the fault-tolerance primitives:
   :class:`~repro.serve.resilience.Deadline` budgets,
   :class:`~repro.serve.resilience.RetryPolicy` jittered backoff,
@@ -57,6 +64,13 @@ from .faults import (
     classify_exception,
 )
 from .frontend import Frontend, FrontendClosed, FrontendConfig, FrontendStats
+from .net import (
+    NetClient,
+    NetClientClosed,
+    NetServer,
+    NetServerConfig,
+    NetServerStats,
+)
 from .resilience import (
     CircuitBreaker,
     Deadline,
@@ -82,6 +96,11 @@ __all__ = [
     "FrontendClosed",
     "FrontendConfig",
     "FrontendStats",
+    "NetClient",
+    "NetClientClosed",
+    "NetServer",
+    "NetServerConfig",
+    "NetServerStats",
     "Ok",
     "Overloaded",
     "PoolSupervisor",

@@ -1,0 +1,326 @@
+"""Asyncio client for the ``repro.serve.net`` framed TCP protocol.
+
+:class:`NetClient` is the in-process :class:`~repro.serve.frontend.
+Frontend` API projected over a socket: ``submit`` raises typed
+exceptions, ``submit_outcome`` returns ``Ok``/``Failed`` envelopes, and
+requests pipeline freely — a single background reader task matches
+RESPONSE frames to futures by request id, so any number of coroutines
+can share one connection::
+
+    client = await NetClient.connect("127.0.0.1", port)
+    try:
+        point = await client.submit("sm", (k, generator()), deadline=0.5)
+    finally:
+        await client.aclose()
+
+Failure surfaces are explicit:
+
+* an ``overloaded`` response frame → :class:`~repro.serve.faults.
+  Overloaded` from :meth:`submit` (a ``Failed(kind="overloaded")``
+  envelope from :meth:`submit_outcome`);
+* a server GOAWAY → outstanding requests still resolve, *new* submits
+  raise :class:`NetClientClosed`;
+* a dropped connection → every outstanding future resolves with
+  :class:`~repro.serve.net.protocol.ConnectionLostError` — the client
+  never leaves a caller hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional, Sequence
+
+from ..faults import KIND_OVERLOADED, Failed, Ok
+from .protocol import (
+    CODEC_JSON,
+    DEFAULT_MAX_FRAME,
+    FRAME_ERROR,
+    FRAME_GOAWAY,
+    FRAME_HELLO,
+    FRAME_HELLO_OK,
+    FRAME_PING,
+    FRAME_PONG,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    PROTOCOL_VERSION,
+    ConnectionLostError,
+    ProtocolError,
+    SUPPORTED_CODECS,
+    codec_id,
+    encode_frame,
+    read_frame,
+    wire_decode,
+    wire_encode,
+)
+
+__all__ = ["NetClient", "NetClientClosed"]
+
+
+class NetClientClosed(RuntimeError):
+    """Submit after :meth:`NetClient.aclose` or a server GOAWAY."""
+
+
+class NetClient:
+    """One framed TCP connection to a :class:`~repro.serve.net.server.
+    NetServer`; safe to share across coroutines.
+
+    Build with :meth:`connect` (the constructor is private to it).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, codec: int,
+                 max_frame: int, server_info: dict):
+        self._reader = reader
+        self._writer = writer
+        self._codec = codec
+        self._max_frame = max_frame
+        self.server_info = server_info
+        self._ids = itertools.count(1)
+        self._futures: Dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._goaway: Optional[str] = None
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="repro-net-client-read"
+        )
+
+    # -- connection -------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        codecs: Optional[Sequence[str]] = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        connect_timeout: float = 10.0,
+        client_name: str = "repro-net-client",
+    ) -> "NetClient":
+        """Dial, HELLO-handshake, and return a ready client.
+
+        ``codecs`` restricts the offered body codecs (default: every
+        codec this build supports, preferred order).  Raises
+        :class:`ProtocolError` when negotiation fails and
+        ``ConnectionLostError`` when the server refuses (GOAWAY during
+        handshake, e.g. draining or at its connection limit).
+        """
+        offered = list(codecs) if codecs is not None else list(SUPPORTED_CODECS)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=connect_timeout
+        )
+        try:
+            hello = {
+                "versions": [PROTOCOL_VERSION],
+                "codecs": offered,
+                "client": client_name,
+            }
+            writer.write(encode_frame(FRAME_HELLO, 0, hello,
+                                      codec=CODEC_JSON, max_frame=max_frame))
+            await writer.drain()
+            frame = await asyncio.wait_for(
+                read_frame(reader, max_frame=max_frame),
+                timeout=connect_timeout,
+            )
+        except (Exception, asyncio.CancelledError):
+            writer.close()
+            raise
+        if frame.type == FRAME_GOAWAY:
+            reason = (frame.body or {}).get("reason", "server refused")
+            writer.close()
+            raise ConnectionLostError(f"server refused connection: {reason}")
+        if frame.type == FRAME_ERROR:
+            body = frame.body or {}
+            writer.close()
+            raise ProtocolError(
+                str(body.get("error", "handshake")),
+                str(body.get("message", "handshake rejected")),
+            )
+        if frame.type != FRAME_HELLO_OK:
+            writer.close()
+            raise ProtocolError(
+                "handshake", f"expected HELLO_OK, got {frame.type_name}"
+            )
+        body = frame.body if isinstance(frame.body, dict) else {}
+        chosen = body.get("codec")
+        if chosen not in offered:
+            writer.close()
+            raise ProtocolError(
+                "bad_codec", f"server chose unoffered codec {chosen!r}"
+            )
+        # Never send frames bigger than the smaller side's bound.
+        server_max = body.get("max_frame")
+        if isinstance(server_max, int) and server_max > 0:
+            max_frame = min(max_frame, server_max)
+        return cls(reader, writer, codec_id(chosen), max_frame, body)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self._goaway is not None
+
+    async def aclose(self) -> None:
+        """Send GOAWAY (best effort), stop reading, fail outstanding."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._send(FRAME_GOAWAY, 0, {"reason": "client closing"})
+        except (ConnectionError, OSError, NetClientClosed):
+            pass
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_outstanding(ConnectionLostError("client closed"))
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- request API --------------------------------------------------------
+    async def submit(self, kind: str, payload: Any,
+                     deadline: Optional[float] = None) -> Any:
+        """Round-trip one request; return the value or raise typed.
+
+        Mirrors :meth:`Frontend.submit`: an ``Ok`` outcome returns its
+        value, a ``Failed`` outcome raises ``Failed.to_exception()``
+        (``Overloaded``, ``DeadlineExceeded``, ...).  ``deadline`` is a
+        relative budget in **seconds**, carried on the wire in ms and
+        clamped server-side.
+        """
+        outcome = await self.submit_outcome(kind, payload, deadline=deadline)
+        if isinstance(outcome, Failed):
+            raise outcome.to_exception()
+        return outcome.value
+
+    async def submit_outcome(self, kind: str, payload: Any,
+                             deadline: Optional[float] = None) -> Any:
+        """Like :meth:`submit` but returns the ``Ok``/``Failed`` envelope
+        (an ``overloaded`` frame becomes ``Failed(kind="overloaded")``)."""
+        if self.closed:
+            raise NetClientClosed(
+                self._goaway and f"server sent GOAWAY: {self._goaway}"
+                or "client is closed"
+            )
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds (or None)")
+        request_id = next(self._ids)
+        body = {"kind": kind, "payload": wire_encode(payload)}
+        if deadline is not None:
+            body["deadline_ms"] = deadline * 1000.0
+        fut = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = fut
+        try:
+            await self._send(FRAME_REQUEST, request_id, body)
+        except BaseException:
+            self._futures.pop(request_id, None)
+            raise
+        try:
+            frame_body = await fut
+        finally:
+            self._futures.pop(request_id, None)
+        return self._to_outcome(frame_body)
+
+    async def ping(self) -> float:
+        """Round-trip a PING; returns latency in seconds."""
+        import time
+
+        if self.closed:
+            raise NetClientClosed("client is closed")
+        request_id = next(self._ids)
+        fut = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = fut
+        start = time.perf_counter()
+        try:
+            await self._send(FRAME_PING, request_id, {})
+            await fut
+        finally:
+            self._futures.pop(request_id, None)
+        return time.perf_counter() - start
+
+    # -- internals ---------------------------------------------------------
+    @staticmethod
+    def _to_outcome(body: Any) -> Any:
+        if not isinstance(body, dict):
+            raise ProtocolError("bad_body", "RESPONSE body must be a mapping")
+        status = body.get("status")
+        if status == "ok":
+            return Ok(value=wire_decode(body.get("value")))
+        if status == "failed":
+            return Failed(
+                kind=str(body.get("kind", "internal")),
+                message=str(body.get("message", "")),
+                index=body.get("index", -1)
+                if isinstance(body.get("index"), int) else -1,
+                latency=float(body.get("latency") or 0.0),
+            )
+        if status == "overloaded":
+            return Failed(
+                kind=KIND_OVERLOADED,
+                message=str(body.get("message", "server overloaded")),
+            )
+        raise ProtocolError("bad_body", f"unknown response status {status!r}")
+
+    async def _send(self, frame_type: int, request_id: int, body: Any) -> None:
+        data = encode_frame(frame_type, request_id, body,
+                            codec=self._codec, max_frame=self._max_frame)
+        async with self._write_lock:
+            if self._writer.is_closing():
+                raise ConnectionLostError("connection is closed")
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader,
+                                         max_frame=self._max_frame)
+                if frame.type in (FRAME_RESPONSE, FRAME_PONG):
+                    fut = self._futures.get(frame.request_id)
+                    if fut is not None and not fut.done():
+                        fut.set_result(frame.body)
+                elif frame.type == FRAME_GOAWAY:
+                    # Outstanding requests keep resolving; new submits
+                    # raise NetClientClosed.
+                    self._goaway = str(
+                        (frame.body or {}).get("reason", "server goaway")
+                    )
+                elif frame.type == FRAME_ERROR:
+                    body = frame.body if isinstance(frame.body, dict) else {}
+                    exc = ProtocolError(
+                        str(body.get("error", "error")),
+                        str(body.get("message", "server reported an error")),
+                    )
+                    if frame.request_id and frame.request_id in self._futures:
+                        fut = self._futures[frame.request_id]
+                        if not fut.done():
+                            fut.set_exception(exc)
+                    else:
+                        # Connection-fatal: the server closes after ERROR.
+                        self._fail_outstanding(exc)
+                        return
+                # Anything else from the server is ignored (forward
+                # compatibility: unknown-but-valid frame types).
+        except asyncio.CancelledError:
+            raise
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            self._fail_outstanding(
+                ConnectionLostError("connection lost mid-request")
+            )
+        except ProtocolError as exc:
+            self._fail_outstanding(exc)
+
+    def _fail_outstanding(self, exc: Exception) -> None:
+        self._closed = True
+        for fut in list(self._futures.values()):
+            if not fut.done():
+                fut.set_exception(exc)
+        self._futures.clear()

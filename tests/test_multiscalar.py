@@ -17,7 +17,10 @@ import pytest
 
 from repro.curve import AffinePoint, SUBGROUP_ORDER_N
 from repro.curve.multiscalar import (
+    MSM_SCALAR_BITS,
     PIPPENGER_CROSSOVER,
+    PIPPENGER_WINDOW_MAX,
+    PIPPENGER_WINDOW_MIN,
     batch_verify_schnorr,
     in_order_n_subgroup,
     multi_scalar_mul,
@@ -206,6 +209,101 @@ class TestMethodEquivalence:
         m_large, a_large = pippenger_cost_model(256)
         assert 0 < m_small < m_large
         assert 0 < a_small < a_large
+
+
+class TestTunables:
+    """The module-level performance knobs are pinned, not folklore.
+
+    ``PIPPENGER_CROSSOVER``, the window clamp, and ``MSM_SCALAR_BITS``
+    are the three constants ``repro.curve.multiscalar`` exports as
+    documented tunables.  These tests pin their current values and the
+    invariants the rest of the stack relies on, so changing any of them
+    is a deliberate, reviewed act (re-run ``benchmarks/bench_msm.py``
+    first, then update the pin here).
+    """
+
+    def test_crossover_is_where_the_cost_model_says(self):
+        # The pinned value.  8 is the measured wall-clock crossover on
+        # the reference field arithmetic (bench_msm.py, PR 8): Straus
+        # pays a per-point setup (endomorphism images + 8-entry table)
+        # that Pippenger avoids entirely.
+        assert PIPPENGER_CROSSOVER == 8, (
+            "PIPPENGER_CROSSOVER retuned — re-run benchmarks/bench_msm.py "
+            "and update this pin alongside the constant's docstring"
+        )
+        # The cost model backs the story that a single-digit crossover
+        # is plausible: per-point cost falls as each extra point splits
+        # the fixed 246-doubling chain and the bucket folds.  Within a
+        # window width it falls strictly (the sawtooth at width steps —
+        # n = 8, 16, ... — is the 2^c fold growing ahead of the batch),
+        # and doubling the batch always wins outright.
+        per_point = {
+            n: pippenger_cost_model(n)[0] / n
+            for n in range(1, 8 * PIPPENGER_CROSSOVER + 1)
+        }
+        for n in range(1, 8 * PIPPENGER_CROSSOVER):
+            if pippenger_window_bits(n) == pippenger_window_bits(n + 1):
+                assert per_point[n] > per_point[n + 1], (
+                    "pippenger_cost_model lost its economies of scale", n
+                )
+        for n in range(1, 4 * PIPPENGER_CROSSOVER + 1):
+            assert per_point[2 * n] < per_point[n], n
+        # ...and by the crossover the shared doubling chain — the fixed
+        # cost that makes tiny batches a bad deal — is a small minority
+        # of the total, i.e. already amortized.
+        doubling_mults = 7 * MSM_SCALAR_BITS
+        total_at_crossover = pippenger_cost_model(PIPPENGER_CROSSOVER)[0]
+        assert doubling_mults < total_at_crossover / 4
+
+    def test_auto_dispatch_switches_exactly_at_the_crossover(self, monkeypatch):
+        # Spy on both strategies; auto must flip from Straus to
+        # Pippenger at exactly PIPPENGER_CROSSOVER live pairs.
+        import repro.curve.multiscalar as msm
+
+        calls = []
+        real_straus = msm.multi_scalar_mul_straus
+        real_pip = msm.multi_scalar_mul_pippenger
+        monkeypatch.setattr(
+            msm, "multi_scalar_mul_straus",
+            lambda ks, pts, **kw: (calls.append("straus"),
+                                   real_straus(ks, pts, **kw))[1],
+        )
+        monkeypatch.setattr(
+            msm, "multi_scalar_mul_pippenger",
+            lambda ks, pts, **kw: (calls.append("pippenger"),
+                                   real_pip(ks, pts, **kw))[1],
+        )
+        rng = _rng("tunable-dispatch")
+        for n in (PIPPENGER_CROSSOVER - 1, PIPPENGER_CROSSOVER):
+            pts = [random_subgroup_point(rng) for _ in range(n)]
+            ks = [rng.randrange(1, SUBGROUP_ORDER_N) for _ in range(n)]
+            msm.multi_scalar_mul(ks, pts)
+        assert calls == ["straus", "pippenger"]
+
+    def test_window_bits_respects_the_documented_clamp(self):
+        assert (PIPPENGER_WINDOW_MIN, PIPPENGER_WINDOW_MAX) == (2, 8), (
+            "window clamp retuned — re-run benchmarks/bench_msm.py and "
+            "update this pin"
+        )
+        widths = [pippenger_window_bits(n) for n in range(1, 5000)]
+        assert all(
+            PIPPENGER_WINDOW_MIN <= w <= PIPPENGER_WINDOW_MAX for w in widths
+        )
+        # Monotone non-decreasing: more points never shrink the window.
+        assert all(a <= b for a, b in zip(widths, widths[1:]))
+        assert pippenger_window_bits(1) == PIPPENGER_WINDOW_MIN
+        assert pippenger_window_bits(10**9) == PIPPENGER_WINDOW_MAX
+
+    def test_scalar_bits_matches_the_subgroup_order(self):
+        assert MSM_SCALAR_BITS == 246
+        # N is a 246-bit prime: every reduced scalar fits, and the
+        # window heuristic's bit budget is not an underestimate.
+        assert SUBGROUP_ORDER_N.bit_length() == MSM_SCALAR_BITS
+        # The cost model defaults to the same budget: passing it
+        # explicitly must be a no-op.
+        assert pippenger_cost_model(16) == pippenger_cost_model(
+            16, bits=MSM_SCALAR_BITS
+        )
 
 
 class TestSubgroupValidation:

@@ -263,6 +263,37 @@ def test_render_report_mentions_derived_figures():
     assert "50.0%" in report  # (60 + 40) / (2 * 100)
 
 
+def test_render_report_network_front_door_section():
+    reg = MetricsRegistry()
+    reg.counter("repro_net_connections_total", event="opened").inc(3)
+    reg.counter("repro_net_connections_total", event="refused").inc(1)
+    reg.gauge("repro_net_connections_open").set(2)
+    reg.counter("repro_net_requests_total", kind="sm", outcome="ok").inc(40)
+    reg.counter("repro_net_requests_total", kind="sm",
+                outcome="deadline").inc(2)
+    reg.counter("repro_net_frames_total", direction="in",
+                type="REQUEST").inc(42)
+    reg.counter("repro_net_bytes_total", direction="in").inc(9000)
+    reg.counter("repro_net_rr_grants_total").inc(42)
+    reg.counter("repro_net_shed_total", reason="pending_cap").inc(5)
+    reg.counter("repro_net_protocol_errors_total", kind="bad_body").inc(1)
+    reg.histogram("repro_net_request_latency_seconds").observe(0.012)
+    report = render_report(reg.snapshot())
+    assert "network front door (TCP)" in report
+    assert "opened=3" in report and "refused=1" in report
+    assert "ok        : 40" in report
+    assert "shed[pending_cap]: 5" in report
+    assert "protocol error[bad_body]: 1" in report
+    assert "rr grants   : 42" in report
+    assert "request latency" in report
+
+
+def test_render_report_skips_net_section_when_absent():
+    reg = MetricsRegistry()
+    reg.counter("repro_datapath_cycles_total").inc(10)
+    assert "network front door" not in render_report(reg.snapshot())
+
+
 # -- BatchStats bugfixes -----------------------------------------------
 
 
